@@ -1,0 +1,57 @@
+// Command mppdag generates, inspects and converts the DAG families of the
+// reproduction.
+//
+// Usage:
+//
+//	mppdag -dag zipper:4,30 -stats
+//	mppdag -dag fft:5 -format dot > fft.dot
+//	mppdag -dag grid:6,6 -format text > grid.txt
+//	mppdag -dag file:grid.txt -format json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/spec"
+)
+
+func main() {
+	dagSpec := flag.String("dag", "fft:3", "DAG specification: "+spec.DAGSyntax)
+	format := flag.String("format", "", "output format: text, json, dot (empty = stats only)")
+	flag.Parse()
+
+	g, err := spec.ParseDAG(*dagSpec)
+	if err != nil {
+		fail(err)
+	}
+	if *format == "" {
+		st := g.ComputeStats()
+		fmt.Printf("name=%s n=%d m=%d sources=%d sinks=%d Δin=%d Δout=%d depth=%d widest=%d\n",
+			st.Name, st.N, st.M, st.Sources, st.Sinks, st.MaxIn, st.MaxOut, st.Depth, st.WidestLevel)
+		return
+	}
+	switch *format {
+	case "text":
+		if err := g.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "dot":
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fail(err)
+		}
+	case "json":
+		if err := json.NewEncoder(os.Stdout).Encode(g); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mppdag:", err)
+	os.Exit(1)
+}

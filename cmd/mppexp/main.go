@@ -1,0 +1,109 @@
+// Command mppexp runs the paper-reproduction experiment suite (E01…E16)
+// and prints each experiment's table, claims and shape-check verdicts.
+//
+// Usage:
+//
+//	mppexp [-quick] [-markdown] [-list] [ids...]
+//
+// With no ids, every experiment runs. -markdown emits the format used in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size instances (seconds instead of minutes)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown (EXPERIMENTS.md format)")
+	csvOut := flag.Bool("csv", false, "emit bare CSV tables (for plotting pipelines)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	jobs := flag.Int("j", 1, "run experiments concurrently on up to this many workers (output stays in ID order)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%s  %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if flag.NArg() == 0 {
+		selected = exp.Registry()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mppexp: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Quick: *quick}
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+
+	type result struct {
+		tab     *exp.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]result, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e exp.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			tab, err := e.Run(cfg)
+			results[i] = result{tab, err, time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+
+	failures := 0
+	for i, e := range selected {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "mppexp: %s failed: %v\n", e.ID, res.err)
+			failures++
+			continue
+		}
+		if *csvOut {
+			if err := exp.RenderCSV(os.Stdout, res.tab); err != nil {
+				fmt.Fprintf(os.Stderr, "mppexp: csv: %v\n", err)
+				failures++
+			}
+		} else if *markdown {
+			exp.RenderMarkdown(os.Stdout, res.tab)
+		} else {
+			exp.Render(os.Stdout, res.tab)
+			fmt.Printf("  (%.1fs)\n\n", res.elapsed.Seconds())
+		}
+		if !res.tab.Pass() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "mppexp: %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command mppsched generates (or loads) a DAG, runs a scheduler on an MPP
+// instance, validates the produced pebbling strategy, and prints the cost
+// breakdown.
+//
+// Usage:
+//
+//	mppsched -dag fft:4 -k 2 -r 6 -g 3 -sched greedy
+//	mppsched -dag zipper:8,40 -k 2 -r 10 -g 4 -sched all
+//	mppsched -dag file:my.txt -k 4 -sched partitioned:levels -timeline 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func main() {
+	dagSpec := flag.String("dag", "fft:4", "DAG specification: "+spec.DAGSyntax)
+	k := flag.Int("k", 2, "number of processors")
+	r := flag.Int("r", 0, "red pebbles per processor (0 = Δin+2)")
+	gCost := flag.Int("g", 3, "I/O cost g")
+	schedSpec := flag.String("sched", "greedy", "scheduler: "+spec.SchedulerSyntax)
+	timeline := flag.Int("timeline", 0, "print the first N moves of the strategy")
+	gantt := flag.Int("gantt", 0, "print a per-processor activity strip of width N")
+	improve := flag.Bool("improve", false, "post-optimize each strategy (no-op elision, dead-write elision, parallel repacking)")
+	save := flag.String("save", "", "write the (last) strategy as JSON to this file")
+	load := flag.String("load", "", "skip scheduling; validate and report the JSON strategy in this file")
+	flag.Parse()
+
+	g, err := spec.ParseDAG(*dagSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rr := *r
+	if rr == 0 {
+		rr = g.MaxInDegree() + 2
+	}
+	in, err := pebble.NewInstance(g, pebble.MPP(*k, rr, *gCost))
+	if err != nil {
+		fatal(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("dag %s: n=%d m=%d Δin=%d depth=%d | k=%d r=%d g=%d | Lemma 1 bounds: [%d, %d]\n",
+		g.Name(), st.N, st.M, st.MaxIn, st.Depth, *k, rr, *gCost,
+		bounds.Lemma1Lower(in), bounds.Lemma1Upper(in))
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		strat, err := pebble.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := pebble.Replay(in, strat)
+		if err != nil {
+			fatal(fmt.Errorf("loaded strategy invalid: %w", err))
+		}
+		fmt.Printf("%-32s %s\n", "loaded:"+*load, trace.Summary(in, rep))
+		trace.PerProcessor(os.Stdout, rep)
+		return
+	}
+
+	schedulers, err := spec.ParseSchedulers(*schedSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var lastStrat *pebble.Strategy
+	for _, s := range schedulers {
+		strat, err := s.Schedule(in)
+		if err != nil {
+			fmt.Printf("%-32s ERROR: %v\n", s.Name(), err)
+			continue
+		}
+		rep, err := pebble.Replay(in, strat)
+		if err != nil {
+			fmt.Printf("%-32s INVALID: %v\n", s.Name(), err)
+			continue
+		}
+		name := s.Name()
+		if *improve {
+			better, brep, err := sched.Improve(in, strat)
+			if err != nil {
+				fatal(err)
+			}
+			strat, rep = better, brep
+			name += "+improve"
+		}
+		lastStrat = strat
+		fmt.Printf("%-32s %s\n", name, trace.Summary(in, rep))
+		if len(schedulers) == 1 {
+			trace.PerProcessor(os.Stdout, rep)
+			if *timeline > 0 {
+				trace.Timeline(os.Stdout, strat, *timeline)
+			}
+			if *gantt > 0 {
+				fmt.Print(trace.Gantt(strat, *k, *gantt))
+			}
+		}
+	}
+	if *save != "" && lastStrat != nil {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := lastStrat.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("strategy saved to %s (%d moves)\n", *save, lastStrat.Len())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mppsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// BSP bridge: the paper observes that MPP with unlimited fast memory is
+// DAG scheduling in the BSP model (Section 3.3). This example builds a
+// level-synchronous BSP schedule, prints its analytic h-relation cost,
+// mechanically converts it into MPP moves, and replays those under the
+// pebble-game rules — the two costs agree exactly.
+//
+//	go run ./examples/bspbridge
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bsp"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+)
+
+func main() {
+	g := gen.FFT(4) // 16-point butterfly: 80 nodes, all-to-all levels
+	fmt.Println(g)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, ioCost := range []int{1, 4} {
+			s := bsp.LevelSchedule(g, k)
+			if err := s.Validate(g); err != nil {
+				log.Fatal(err)
+			}
+			analytic := s.Cost(g, ioCost)
+
+			// r = n+1 ≈ ∞: the memory bound can never bind.
+			in, err := pebble.NewInstance(g, pebble.MPP(k, g.N()+1, ioCost))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := pebble.Replay(in, s.Convert(g))
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "EQUAL"
+			if rep.Cost != analytic {
+				status = "MISMATCH"
+			}
+			fmt.Printf("k=%d g=%d: BSP cost Σ(W + g·(h_in+h_out)) = %4d | MPP replay = %4d  [%s]\n",
+				k, ioCost, analytic, rep.Cost, status)
+		}
+	}
+	fmt.Println("\nWith r = ∞ the pebble game *is* BSP DAG scheduling — the paper's")
+	fmt.Println("Section 3.3 claim, executed. Shrink r and the memory dimension of")
+	fmt.Println("the trade-off reappears (see examples/superlinear).")
+}

@@ -1,0 +1,60 @@
+// Matrix-multiplication workload: schedule the classical O(n³) MMM DAG
+// across processor counts and memory sizes and compare the measured I/O
+// against the Kwasniewski et al. lower bound 2n³/√(r·k) + n², translated
+// to the multiprocessor setting via Lemma 5 of the paper.
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+func main() {
+	const n = 4 // 4×4 matrices: 144-node DAG
+	g := gen.MatMul(n)
+	fmt.Printf("C = A·B for %d×%d matrices: %s\n\n", n, n, g)
+
+	schedulers := []sched.Scheduler{
+		sched.Greedy{},
+		sched.Greedy{Evict: sched.EvictFewestUses},
+		sched.Partitioned{Assign: sched.AssignAllToOne, AssignName: "one"},
+		sched.Partitioned{Assign: sched.AssignLevelRoundRobin, AssignName: "levels"},
+	}
+
+	fmt.Printf("%-4s %-4s %-10s %-22s %-12s %-10s\n",
+		"k", "r", "io-moves", "best scheduler", "L/k bound", "meas/bound")
+	for _, k := range []int{1, 2, 4} {
+		for _, r := range []int{4, 8, 16} {
+			in, err := pebble.NewInstance(g, pebble.MPP(k, r, 2))
+			if err != nil {
+				log.Fatal(err)
+			}
+			bestName := ""
+			var best *pebble.Report
+			for _, s := range schedulers {
+				rep, err := sched.Run(s, in)
+				if err != nil {
+					continue
+				}
+				if best == nil || rep.IOMoves < best.IOMoves {
+					best, bestName = rep, s.Name()
+				}
+			}
+			if best == nil {
+				log.Fatalf("no scheduler succeeded for k=%d r=%d", k, r)
+			}
+			bound := bounds.Lemma5IO(bounds.KwasniewskiMMM(n, r*k), k)
+			fmt.Printf("%-4d %-4d %-10d %-22s %-12.1f %-10.2f\n",
+				k, r, best.IOMoves, bestName, bound, float64(best.IOMoves)/bound)
+		}
+	}
+	fmt.Println("\nThe measured I/O falls as r·k grows and parallelism divides the")
+	fmt.Println("bound by k — the trade-off surface the paper's Section 4 describes.")
+}

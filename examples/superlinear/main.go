@@ -1,0 +1,54 @@
+// Superlinear speedup (Lemma 10): on the zipper gadget of Figure 2,
+// doubling the processors cuts the cost by far more than 2× — each
+// processor parks one input group in its fast memory, so the per-node
+// cost drops from d·g+1 (group swapping) to 2g+1 (chain handover).
+//
+//	go run ./examples/superlinear
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/proofs"
+)
+
+func main() {
+	const (
+		chainLen = 60
+		ioCost   = 4
+	)
+	fmt.Printf("zipper gadget, chain length %d, g = %d, r = d+2, tails = 2g\n\n", chainLen, ioCost)
+	fmt.Printf("%-6s %-8s %-10s %-10s %-9s %-12s\n",
+		"d", "Δin", "cost(k=1)", "cost(k=2)", "speedup", "(Δin−1)/2")
+	for _, d := range []int{4, 8, 12, 16, 20} {
+		g, ids := gen.Zipper(d, chainLen, 2*ioCost)
+
+		in1, err := pebble.NewInstance(g, pebble.MPP(1, d+2, ioCost))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep1, err := pebble.Replay(in1, proofs.ZipperSwap(in1, ids))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		in2, err := pebble.NewInstance(g, pebble.MPP(2, d+2, ioCost))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep2, err := pebble.Replay(in2, proofs.ZipperParallel(in2, ids))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-6d %-8d %-10d %-10d %-9.2f %-12.1f\n",
+			d, d+1, rep1.Cost, rep2.Cost,
+			float64(rep1.Cost)/float64(rep2.Cost), float64(d)/2)
+	}
+	fmt.Println("\nSpeedup grows with d toward (Δin−1)/2 — i.e., adding one processor")
+	fmt.Println("is worth an unbounded factor: the phenomenon MPP is the first")
+	fmt.Println("pebbling/scheduling model to capture naturally (Lemma 10).")
+}

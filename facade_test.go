@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, _ := gen.Zipper(4, 20, 0)
+	in, err := NewInstance(g, MPP(2, 6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := (sched.Greedy{}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(in, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost <= 0 {
+		t.Fatal("no cost measured")
+	}
+	if got := len(Experiments()); got != 19 {
+		t.Fatalf("Experiments() = %d entries, want 19", got)
+	}
+	if SPP(4, 2).ComputeCost != 0 || MPP(2, 4, 2).ComputeCost != 1 {
+		t.Fatal("facade parameter constructors wrong")
+	}
+}

@@ -1,0 +1,282 @@
+// Package bitset provides a dense, fixed-capacity bitset used as the hot
+// data structure throughout the pebbling engine: red-pebble sets (one per
+// processor shade), the blue-pebble set, visited sets in the exact solver,
+// and reachability masks in DAG analysis all store node IDs in bitsets.
+//
+// The zero value of Set is an empty set with capacity 0; use New to create
+// a set able to hold IDs in [0, n). All operations panic if an ID is out of
+// range, mirroring slice indexing: in this codebase an out-of-range node ID
+// is always a programming error, never an input error.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset over IDs [0, n). Sets with the same capacity can be
+// combined with the binary operations; combining sets of different capacity
+// panics.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for IDs in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromSlice returns a set of capacity n containing the given IDs.
+func FromSlice(n int, ids []int) *Set {
+	s := New(n)
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Cap returns the capacity (the exclusive upper bound on member IDs).
+func (s *Set) Cap() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: id %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t. Capacities must match.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameCap(t)
+	copy(s.words, t.words)
+}
+
+func (s *Set) sameCap(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// UnionWith adds every element of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.sameCap(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameCap(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// SubtractWith removes every element of t from s.
+func (s *Set) SubtractWith(t *Set) {
+	s.sameCap(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set holding s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	out := s.Clone()
+	out.UnionWith(t)
+	return out
+}
+
+// Intersect returns a new set holding s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	out := s.Clone()
+	out.IntersectWith(t)
+	return out
+}
+
+// Subtract returns a new set holding s \ t.
+func (s *Set) Subtract(t *Set) *Set {
+	out := s.Clone()
+	out.SubtractWith(t)
+	return out
+}
+
+// ContainsAll reports whether every element of t is in s.
+func (s *Set) ContainsAll(t *Set) bool {
+	s.sameCap(t)
+	for i, w := range t.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	s.sameCap(t)
+	for i, w := range t.words {
+		if w&s.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t hold exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range t.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for each element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Next returns the smallest element >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits) << (uint(i) % wordBits)
+	for {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s.words) {
+			return -1
+		}
+		w = s.words[wi]
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int { return s.Next(0) }
+
+// Hash returns a 64-bit FNV-1a style hash of the set contents. Sets that
+// are Equal hash identically.
+func (s *Set) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words {
+		h ^= w
+		h *= prime
+	}
+	return h
+}
+
+// AppendWords appends the raw words of the set to dst and returns the
+// extended slice; used to build hash keys spanning several sets.
+func (s *Set) AppendWords(dst []uint64) []uint64 {
+	return append(dst, s.words...)
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

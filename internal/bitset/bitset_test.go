@@ -1,0 +1,312 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count() = %d, want 0", got)
+	}
+	if !s.Empty() {
+		t.Fatal("new set not Empty()")
+	}
+	if s.Cap() != 130 {
+		t.Fatalf("Cap() = %d, want 130", s.Cap())
+	}
+	for i := 0; i < 130; i++ {
+		if s.Contains(i) {
+			t.Fatalf("new set Contains(%d)", i)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(200)
+	ids := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	for _, id := range ids {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false after Add", id)
+		}
+	}
+	if got := s.Count(); got != len(ids) {
+		t.Fatalf("Count() = %d, want %d", got, len(ids))
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) after Remove")
+	}
+	s.Remove(64) // removing absent id is a no-op
+	if got := s.Count(); got != len(ids)-1 {
+		t.Fatalf("Count() = %d, want %d", got, len(ids)-1)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count() = %d after double Add, want 1", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Add(10) },
+		func() { New(10).Add(-1) },
+		func() { New(10).Contains(10) },
+		func() { New(10).Remove(99) },
+		func() { New(-1) },
+		func() { New(10).UnionWith(New(11)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 50, 99})
+	b := FromSlice(100, []int{2, 3, 4, 99})
+
+	if got := a.Union(b).Slice(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 50, 99}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Slice(); !reflect.DeepEqual(got, []int{2, 3, 99}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Subtract(b).Slice(); !reflect.DeepEqual(got, []int{1, 50}) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.ContainsAll(b) {
+		t.Error("ContainsAll = true; 4 is missing from a")
+	}
+	if !a.Union(b).ContainsAll(a) {
+		t.Error("union does not contain operand")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromSlice(70, []int{0, 69, 33})
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not Equal")
+	}
+	c.Add(1)
+	if a.Equal(c) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if a.Contains(1) {
+		t.Fatal("mutating clone mutated original")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("Equal across capacities")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(40, []int{5, 6})
+	b := FromSlice(40, []int{7})
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{10, 20, 30})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{10, 20}) {
+		t.Fatalf("early stop saw %v", seen)
+	}
+}
+
+func TestNextAndMin(t *testing.T) {
+	s := FromSlice(300, []int{5, 64, 200})
+	cases := []struct{ from, want int }{
+		{-5, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 200}, {201, -1}, {300, -1},
+	}
+	for _, c := range cases {
+		if got := s.Next(c.from); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.Min(); got != 5 {
+		t.Errorf("Min() = %d, want 5", got)
+	}
+	if got := New(8).Min(); got != -1 {
+		t.Errorf("empty Min() = %d, want -1", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(128, []int{0, 127})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	if s.Cap() != 128 {
+		t.Fatal("Clear changed capacity")
+	}
+}
+
+func TestHashEqualSets(t *testing.T) {
+	a := FromSlice(256, []int{1, 100, 255})
+	b := FromSlice(256, []int{255, 1, 100})
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets hash differently")
+	}
+	b.Add(2)
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct sets collide (astronomically unlikely)")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{3, 1}).String(); got != "{1, 3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+// mapSet is the oracle implementation used by the property tests.
+type mapSet map[int]bool
+
+func randomPair(rng *rand.Rand, n int) (*Set, mapSet) {
+	s := New(n)
+	m := mapSet{}
+	for i := 0; i < n/2; i++ {
+		id := rng.Intn(n)
+		s.Add(id)
+		m[id] = true
+	}
+	return s, m
+}
+
+func (m mapSet) slice() []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestQuickAgainstMapOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		a, ma := randomPair(rng, n)
+		b, mb := randomPair(rng, n)
+
+		u := a.Union(b)
+		mu := mapSet{}
+		for k := range ma {
+			mu[k] = true
+		}
+		for k := range mb {
+			mu[k] = true
+		}
+		if !reflect.DeepEqual(u.Slice(), mu.slice()) {
+			return false
+		}
+
+		in := a.Intersect(b)
+		mi := mapSet{}
+		for k := range ma {
+			if mb[k] {
+				mi[k] = true
+			}
+		}
+		if !reflect.DeepEqual(in.Slice(), mi.slice()) {
+			return false
+		}
+
+		d := a.Subtract(b)
+		md := mapSet{}
+		for k := range ma {
+			if !mb[k] {
+				md[k] = true
+			}
+		}
+		if !reflect.DeepEqual(d.Slice(), md.slice()) {
+			return false
+		}
+		return u.Count() == len(mu) && in.Count() == len(mi)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |A ∪ B| + |A ∩ B| == |A| + |B|
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, _ := randomPair(rng, n)
+		b, _ := randomPair(rng, n)
+		return a.Union(b).Count()+a.Intersect(b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtractDisjoint(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, _ := randomPair(rng, n)
+		b, _ := randomPair(rng, n)
+		return !a.Subtract(b).Intersects(b) || a.Subtract(b).Empty()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := randomPair(rng, 1024)
+	y, _ := randomPair(rng, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkForEach1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := randomPair(rng, 1024)
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(id int) bool { sum += id; return true })
+	}
+	_ = sum
+}

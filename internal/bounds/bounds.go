@@ -1,0 +1,86 @@
+// Package bounds collects the analytic cost bounds the paper uses:
+// the trivial Lemma 1 sandwich, the Lemma 5 / Corollary 1 translation of
+// single-processor I/O lower bounds to multiprocessor cost lower bounds,
+// and the classic per-workload I/O lower bounds the paper cites — the
+// Hong–Kung FFT bound and the Kwasniewski et al. matrix-multiplication
+// bound.
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/pebble"
+)
+
+// Lemma1Lower returns the trivial lower bound ⌈n/k⌉ · computeCost on the
+// optimal pebbling cost (each compute move handles at most k nodes).
+func Lemma1Lower(in *pebble.Instance) int64 {
+	n, k := int64(in.N()), int64(in.K)
+	return (n + k - 1) / k * int64(in.ComputeCost)
+}
+
+// Lemma1Upper returns the trivial upper bound (g·(Δ_in+1) + c) · n on the
+// optimal pebbling cost, achieved by the Baseline scheduler.
+func Lemma1Upper(in *pebble.Instance) int64 {
+	return (int64(in.G)*int64(in.Graph.MaxInDegree()+1) + int64(in.ComputeCost)) * int64(in.N())
+}
+
+// Lemma5IO translates a single-processor I/O lower bound into the
+// multiprocessor setting: if every SPP pebbling with fast memory k·r
+// needs at least L I/O operations, every MPP pebbling with k processors
+// of fast memory r needs at least ⌈L/k⌉ I/O moves.
+func Lemma5IO(L float64, k int) float64 {
+	return L / float64(k)
+}
+
+// Corollary1Cost combines Lemma 5 with the compute bound: a cost lower
+// bound of g·L/k + n/k for MPP given an SPP(k·r) I/O lower bound L.
+func Corollary1Cost(L float64, n, k, g int) float64 {
+	return float64(g)*L/float64(k) + float64(n)/float64(k)
+}
+
+// HongKungFFT returns the Hong–Kung I/O lower bound Ω(n·log n / log s)
+// for the n-point FFT DAG pebbled with fast memory s (as used in
+// Section 4 of the paper, with s = r·k). It returns the bound without
+// the asymptotic constant, i.e. n·log₂n / log₂s; callers compare shapes,
+// not constants. For s < 2 the bound is meaningless and 0 is returned.
+func HongKungFFT(n, s int) float64 {
+	if n < 2 || s < 2 {
+		return 0
+	}
+	return float64(n) * math.Log2(float64(n)) / math.Log2(float64(s))
+}
+
+// KwasniewskiMMM returns the matrix-multiplication I/O lower bound
+// 2n³/√s + n² of Kwasniewski et al. for multiplying two n×n matrices
+// with fast memory s.
+func KwasniewskiMMM(n, s int) float64 {
+	if s < 1 {
+		return 0
+	}
+	nn := float64(n)
+	return 2*nn*nn*nn/math.Sqrt(float64(s)) + nn*nn
+}
+
+// FFTCostLowerBound instantiates Corollary 1 for the n-point FFT:
+// (n/k)·(g·log n/log(rk) + 1), the form displayed in Section 4.
+func FFTCostLowerBound(n, k, r, g int) float64 {
+	if n < 2 || r*k < 2 {
+		return 0
+	}
+	return float64(n) / float64(k) * (float64(g)*math.Log2(float64(n))/math.Log2(float64(r*k)) + 1)
+}
+
+// MMMCostLowerBound instantiates Corollary 1 for n×n matrix
+// multiplication: (n/k)·(g·(2n²/√(rk) + n) + 1), the form displayed in
+// Section 4.
+func MMMCostLowerBound(n, k, r, g int) float64 {
+	nn := float64(n)
+	return nn / float64(k) * (float64(g)*(2*nn*nn/math.Sqrt(float64(r*k))+nn) + 1)
+}
+
+// SurplusCost returns the surplus cost C − n/k of Definition 1 for a
+// measured cost C.
+func SurplusCost(cost int64, n, k int) float64 {
+	return float64(cost) - float64(n)/float64(k)
+}

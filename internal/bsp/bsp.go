@@ -1,0 +1,228 @@
+// Package bsp implements DAG scheduling in the bulk-synchronous parallel
+// model with shared-memory communication, the problem the paper proves
+// MPP generalizes ("with r = ∞ and minor adjustments, MPP also becomes
+// equivalent to DAG scheduling in the BSP model", Section 3.3).
+//
+// A Schedule assigns every node a processor and a superstep. Within a
+// superstep each processor computes its nodes (respecting local
+// precedence); values needed by another processor travel through shared
+// memory in the communication phase at the end of the producing
+// superstep. The BSP cost of a schedule is
+//
+//	Σ_s ( W_s + g·(h_out_s + h_in_s) )
+//
+// where W_s is the maximum per-processor work in superstep s and
+// h_out/h_in are the maximum number of values any processor stores/loads
+// in the communication phases — exactly the cost the same schedule incurs
+// when mechanically translated to MPP moves with unbounded fast memory,
+// which Convert + pebble.Replay verifies.
+package bsp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// Schedule maps each node to a processor and a superstep.
+type Schedule struct {
+	K         int
+	Proc      []int // per node
+	Superstep []int // per node
+}
+
+// Validate checks the BSP precedence rules: an edge (u, v) requires
+// step(u) < step(v) when the processors differ and step(u) ≤ step(v)
+// (with topological consistency within a step handled at conversion) when
+// they match.
+func (s *Schedule) Validate(g *dag.Graph) error {
+	if len(s.Proc) != g.N() || len(s.Superstep) != g.N() {
+		return fmt.Errorf("bsp: schedule covers %d/%d nodes for %d-node DAG",
+			len(s.Proc), len(s.Superstep), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if s.Proc[v] < 0 || s.Proc[v] >= s.K {
+			return fmt.Errorf("bsp: node %d on processor %d outside [0,%d)", v, s.Proc[v], s.K)
+		}
+		if s.Superstep[v] < 0 {
+			return fmt.Errorf("bsp: node %d in negative superstep", v)
+		}
+		for _, u := range g.Pred(dag.NodeID(v)) {
+			switch {
+			case s.Proc[u] == s.Proc[v]:
+				if s.Superstep[u] > s.Superstep[v] {
+					return fmt.Errorf("bsp: edge (%d,%d) goes backward in supersteps", u, v)
+				}
+			default:
+				if s.Superstep[u] >= s.Superstep[v] {
+					return fmt.Errorf("bsp: cross-processor edge (%d,%d) needs a strictly earlier superstep", u, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// comm describes the value movements of a schedule: sends[s][p] lists the
+// values processor p stores to shared memory in the communication phase
+// of superstep s; recvs[s][p] lists the values p loads at the start of
+// work in superstep s (modeled as part of the previous comm phase's
+// cost, matching the h-relation accounting).
+type comm struct {
+	sends [][][]dag.NodeID
+	recvs [][][]dag.NodeID
+	steps int
+}
+
+func (s *Schedule) plan(g *dag.Graph) comm {
+	steps := 0
+	for _, ss := range s.Superstep {
+		if ss+1 > steps {
+			steps = ss + 1
+		}
+	}
+	c := comm{steps: steps}
+	c.sends = make([][][]dag.NodeID, steps)
+	c.recvs = make([][][]dag.NodeID, steps)
+	for i := range c.sends {
+		c.sends[i] = make([][]dag.NodeID, s.K)
+		c.recvs[i] = make([][]dag.NodeID, s.K)
+	}
+	sent := make([]bool, g.N())
+	recvKey := map[[2]int]bool{} // (node, proc) already delivered
+	type need struct {
+		node dag.NodeID
+		proc int
+		step int
+	}
+	var needs []need
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Pred(dag.NodeID(v)) {
+			if s.Proc[u] != s.Proc[v] {
+				needs = append(needs, need{u, s.Proc[v], s.Superstep[v]})
+			}
+		}
+	}
+	sort.Slice(needs, func(i, j int) bool {
+		if needs[i].step != needs[j].step {
+			return needs[i].step < needs[j].step
+		}
+		if needs[i].node != needs[j].node {
+			return needs[i].node < needs[j].node
+		}
+		return needs[i].proc < needs[j].proc
+	})
+	for _, nd := range needs {
+		u := nd.node
+		if !sent[u] {
+			ps := s.Superstep[u]
+			c.sends[ps][s.Proc[u]] = append(c.sends[ps][s.Proc[u]], u)
+			sent[u] = true
+		}
+		key := [2]int{int(u), nd.proc}
+		if !recvKey[key] {
+			// Deliver in the comm phase right before the consumer's
+			// superstep (i.e. accounted at superstep step−1's exchange).
+			c.recvs[nd.step][nd.proc] = append(c.recvs[nd.step][nd.proc], u)
+			recvKey[key] = true
+		}
+	}
+	return c
+}
+
+// Cost returns the BSP cost Σ_s (W_s + g·(h_out_s + h_in_s)). Receives
+// scheduled at the start of superstep s are accounted in that superstep.
+func (s *Schedule) Cost(g *dag.Graph, ioCost int) int64 {
+	c := s.plan(g)
+	work := make([][]int, c.steps)
+	for i := range work {
+		work[i] = make([]int, s.K)
+	}
+	for v := 0; v < g.N(); v++ {
+		work[s.Superstep[v]][s.Proc[v]]++
+	}
+	var total int64
+	for st := 0; st < c.steps; st++ {
+		w, hOut, hIn := 0, 0, 0
+		for p := 0; p < s.K; p++ {
+			if work[st][p] > w {
+				w = work[st][p]
+			}
+			if len(c.sends[st][p]) > hOut {
+				hOut = len(c.sends[st][p])
+			}
+			if len(c.recvs[st][p]) > hIn {
+				hIn = len(c.recvs[st][p])
+			}
+		}
+		total += int64(w) + int64(ioCost)*int64(hOut+hIn)
+	}
+	return total
+}
+
+// Convert translates the schedule into an MPP strategy for an instance
+// with sufficiently large r (r ≥ n always suffices): per superstep, first
+// the delivery reads of this superstep, then the work lists zipped into
+// parallel compute moves, then the send writes. Replaying the result on
+// an unbounded-memory instance yields exactly Cost().
+func (s *Schedule) Convert(g *dag.Graph) *pebble.Strategy {
+	c := s.plan(g)
+	// Per-processor work lists in global topological order.
+	work := make([][][]dag.NodeID, c.steps)
+	for i := range work {
+		work[i] = make([][]dag.NodeID, s.K)
+	}
+	for _, v := range g.Topo() {
+		work[s.Superstep[v]][s.Proc[v]] = append(work[s.Superstep[v]][s.Proc[v]], v)
+	}
+	out := &pebble.Strategy{}
+	zip := func(lists [][]dag.NodeID, mk func(acts ...pebble.Action) pebble.Move) {
+		max := 0
+		for _, l := range lists {
+			if len(l) > max {
+				max = len(l)
+			}
+		}
+		for t := 0; t < max; t++ {
+			var acts []pebble.Action
+			for p, l := range lists {
+				if t < len(l) {
+					acts = append(acts, pebble.At(p, l[t]))
+				}
+			}
+			if len(acts) > 0 {
+				out.Append(mk(acts...))
+			}
+		}
+	}
+	for st := 0; st < c.steps; st++ {
+		zip(c.recvs[st], pebble.Read)
+		zip(work[st], pebble.Compute)
+		zip(c.sends[st], pebble.Write)
+	}
+	return out
+}
+
+// LevelSchedule builds the classic level-synchronous schedule: superstep
+// = level, nodes of each level dealt round-robin over the processors.
+func LevelSchedule(g *dag.Graph, k int) *Schedule {
+	s := &Schedule{K: k, Proc: make([]int, g.N()), Superstep: make([]int, g.N())}
+	for lvl, nodes := range g.LevelSets() {
+		for i, v := range nodes {
+			s.Proc[v] = i % k
+			s.Superstep[v] = lvl
+		}
+	}
+	return s
+}
+
+// ComponentSchedule places each weakly-connected component on one
+// processor (LPT packing) in a single superstep per component-internal
+// level; since no edge crosses processors, the whole DAG fits in one
+// superstep with zero communication.
+func ComponentSchedule(g *dag.Graph, k int, assign func(*dag.Graph, int) []int) *Schedule {
+	s := &Schedule{K: k, Proc: assign(g, k), Superstep: make([]int, g.N())}
+	return s
+}

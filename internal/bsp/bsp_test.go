@@ -1,0 +1,129 @@
+package bsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+func TestLevelScheduleValidates(t *testing.T) {
+	for name, g := range map[string]*dag.Graph{
+		"fft":     gen.FFT(3),
+		"grid":    gen.Grid2D(4, 4),
+		"pyramid": gen.Pyramid(5),
+		"chains":  gen.IndependentChains(3, 6),
+	} {
+		for _, k := range []int{1, 2, 4} {
+			s := LevelSchedule(g, k)
+			if err := s.Validate(g); err != nil {
+				t.Errorf("%s k=%d: %v", name, k, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := gen.Chain(3)
+	// Cross-processor edge within one superstep.
+	bad := &Schedule{K: 2, Proc: []int{0, 1, 0}, Superstep: []int{0, 0, 1}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("cross-processor same-superstep edge accepted")
+	}
+	// Backward superstep on same processor.
+	back := &Schedule{K: 1, Proc: []int{0, 0, 0}, Superstep: []int{1, 0, 2}}
+	if err := back.Validate(g); err == nil {
+		t.Error("backward superstep accepted")
+	}
+	// Out-of-range processor.
+	oob := &Schedule{K: 2, Proc: []int{0, 5, 0}, Superstep: []int{0, 1, 2}}
+	if err := oob.Validate(g); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	short := &Schedule{K: 1, Proc: []int{0}, Superstep: []int{0}}
+	if err := short.Validate(g); err == nil {
+		t.Error("short schedule accepted")
+	}
+}
+
+func TestComponentScheduleZeroComm(t *testing.T) {
+	g := gen.IndependentChains(4, 10)
+	s := ComponentSchedule(g, 4, sched.AssignComponents)
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// One superstep, max work = 10, no communication.
+	if got := s.Cost(g, 7); got != 10 {
+		t.Errorf("Cost = %d, want 10", got)
+	}
+}
+
+// TestConvertCostMatchesBSPCost is the E15 equivalence property: the
+// analytic BSP cost of a schedule equals the replayed MPP cost of its
+// converted strategy with unbounded fast memory.
+func TestConvertCostMatchesBSPCost(t *testing.T) {
+	graphs := map[string]*dag.Graph{
+		"fft":    gen.FFT(3),
+		"grid":   gen.Grid2D(4, 5),
+		"chains": gen.IndependentChains(3, 5),
+		"random": gen.RandomDAG(30, 0.2, 3, 11),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 2, 3} {
+			for _, ioCost := range []int{1, 4} {
+				s := LevelSchedule(g, k)
+				if err := s.Validate(g); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				want := s.Cost(g, ioCost)
+				in := pebble.MustInstance(g, pebble.MPP(k, g.N()+1, ioCost))
+				rep, err := pebble.Replay(in, s.Convert(g))
+				if err != nil {
+					t.Fatalf("%s k=%d: converted strategy invalid: %v", name, k, err)
+				}
+				if rep.Cost != want {
+					t.Errorf("%s k=%d g=%d: BSP cost %d ≠ MPP replay cost %d",
+						name, k, ioCost, want, rep.Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickConvertEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomDAG(5+rng.Intn(25), 0.1+rng.Float64()*0.3, 3, seed)
+		k := 1 + rng.Intn(4)
+		ioCost := 1 + rng.Intn(4)
+		s := LevelSchedule(g, k)
+		if err := s.Validate(g); err != nil {
+			return false
+		}
+		in := pebble.MustInstance(g, pebble.MPP(k, g.N()+1, ioCost))
+		rep, err := pebble.Replay(in, s.Convert(g))
+		if err != nil {
+			return false
+		}
+		return rep.Cost == s.Cost(g, ioCost)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBSPCostMoreProcsNeverWorseOnWideDAG(t *testing.T) {
+	// Level schedules of a wide DAG: more processors strictly reduce the
+	// work term; communication may grow, but for a 2-layer bipartite DAG
+	// with tiny g the trade favors parallelism.
+	g := gen.TwoLayerRandom(8, 32, 0.2, 3)
+	c1 := LevelSchedule(g, 1).Cost(g, 1)
+	c4 := LevelSchedule(g, 4).Cost(g, 1)
+	if c4 >= c1 {
+		t.Errorf("k=4 cost %d not below k=1 cost %d on wide DAG", c4, c1)
+	}
+}

@@ -1,0 +1,160 @@
+package dag
+
+import "repro/internal/bitset"
+
+// Levels returns, for each node, the length of the longest path from any
+// source to the node (sources are level 0). The second result is the number
+// of distinct levels (i.e. the length of the longest path + 1).
+func (g *Graph) Levels() ([]int, int) {
+	lvl := make([]int, g.N())
+	maxLvl := 0
+	for _, v := range g.Topo() {
+		for _, u := range g.Pred(v) {
+			if lvl[u]+1 > lvl[v] {
+				lvl[v] = lvl[u] + 1
+			}
+		}
+		if lvl[v] > maxLvl {
+			maxLvl = lvl[v]
+		}
+	}
+	if g.N() == 0 {
+		return lvl, 0
+	}
+	return lvl, maxLvl + 1
+}
+
+// CriticalPathLength returns the number of nodes on a longest directed path
+// (for unit-cost nodes this is the minimum possible number of parallel
+// compute steps, regardless of processor count).
+func (g *Graph) CriticalPathLength() int {
+	_, depth := g.Levels()
+	return depth
+}
+
+// LevelSets groups node IDs by level; index i holds the nodes at level i.
+func (g *Graph) LevelSets() [][]NodeID {
+	lvl, depth := g.Levels()
+	out := make([][]NodeID, depth)
+	for v := 0; v < g.N(); v++ {
+		out[lvl[v]] = append(out[lvl[v]], NodeID(v))
+	}
+	return out
+}
+
+// Ancestors returns the set of nodes from which v is reachable (excluding v
+// itself).
+func (g *Graph) Ancestors(v NodeID) *bitset.Set {
+	s := bitset.New(g.N())
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Pred(x) {
+			if !s.Contains(int(u)) {
+				s.Add(int(u))
+				stack = append(stack, u)
+			}
+		}
+	}
+	return s
+}
+
+// Descendants returns the set of nodes reachable from v (excluding v).
+func (g *Graph) Descendants(v NodeID) *bitset.Set {
+	s := bitset.New(g.N())
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Succ(x) {
+			if !s.Contains(int(w)) {
+				s.Add(int(w))
+				stack = append(stack, w)
+			}
+		}
+	}
+	return s
+}
+
+// CountPaths returns the number of distinct source→sink paths, capped at
+// cap (pass a large cap such as 1<<60 for an exact count on small DAGs).
+func (g *Graph) CountPaths(cap int64) int64 {
+	paths := make([]int64, g.N())
+	topo := g.Topo()
+	var total int64
+	for _, v := range topo {
+		if g.IsSource(v) {
+			paths[v] = 1
+		}
+		for _, u := range g.Pred(v) {
+			paths[v] += paths[u]
+			if paths[v] > cap {
+				paths[v] = cap
+			}
+		}
+		if g.IsSink(v) {
+			total += paths[v]
+			if total > cap {
+				total = cap
+			}
+		}
+	}
+	return total
+}
+
+// IsTwoLayer reports whether the longest path has length ≤ 1 (every edge
+// goes from a source to a sink) — the "2-layer DAG" class of Lemma 2.
+func (g *Graph) IsTwoLayer() bool {
+	return g.CriticalPathLength() <= 2
+}
+
+// IsInTree reports whether every node has out-degree ≤ 1 — the "in-tree"
+// class of Lemma 2 (a forest of in-trees).
+func (g *Graph) IsInTree() bool {
+	for v := 0; v < g.N(); v++ {
+		if g.OutDegree(NodeID(v)) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// WidestLevel returns the size of the largest level — an upper bound on
+// exploitable per-step parallelism under level-synchronous execution.
+func (g *Graph) WidestLevel() int {
+	w := 0
+	for _, l := range g.LevelSets() {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// Stats bundles the headline shape metrics of a DAG.
+type Stats struct {
+	Name        string
+	N, M        int
+	Sources     int
+	Sinks       int
+	MaxIn       int
+	MaxOut      int
+	Depth       int // critical path length in nodes
+	WidestLevel int
+}
+
+// ComputeStats gathers the Stats of g.
+func (g *Graph) ComputeStats() Stats {
+	return Stats{
+		Name:        g.name,
+		N:           g.N(),
+		M:           g.M(),
+		Sources:     len(g.sources),
+		Sinks:       len(g.sinks),
+		MaxIn:       g.maxIn,
+		MaxOut:      g.maxOut,
+		Depth:       g.CriticalPathLength(),
+		WidestLevel: g.WidestLevel(),
+	}
+}

@@ -1,0 +1,99 @@
+package dag
+
+import "fmt"
+
+// Union returns the disjoint union of the given graphs: nodes of graphs[i]
+// are shifted by the total node count of graphs[0..i-1]. The second return
+// value gives the ID offset applied to each input graph.
+func Union(name string, graphs ...*Graph) (*Graph, []NodeID) {
+	b := NewBuilder(name)
+	offsets := make([]NodeID, len(graphs))
+	for i, g := range graphs {
+		offsets[i] = NodeID(b.N())
+		b.AddNodes(g.N())
+		for u := 0; u < g.N(); u++ {
+			if l := g.Label(NodeID(u)); l != "" {
+				b.SetLabel(offsets[i]+NodeID(u), l)
+			}
+			for _, v := range g.Succ(NodeID(u)) {
+				b.AddEdge(offsets[i]+NodeID(u), offsets[i]+v)
+			}
+		}
+	}
+	return b.MustBuild(), offsets
+}
+
+// Serial composes graphs sequentially: every sink of graphs[i] gains an
+// edge to every source of graphs[i+1]. Returns the composed graph and the
+// per-graph ID offsets.
+func Serial(name string, graphs ...*Graph) (*Graph, []NodeID) {
+	g, off := Union(name+"-union", graphs...)
+	b := NewBuilder(name)
+	b.AddNodes(g.N())
+	for u := 0; u < g.N(); u++ {
+		if l := g.Label(NodeID(u)); l != "" {
+			b.SetLabel(NodeID(u), l)
+		}
+		for _, v := range g.Succ(NodeID(u)) {
+			b.AddEdge(NodeID(u), v)
+		}
+	}
+	for i := 0; i+1 < len(graphs); i++ {
+		for _, s := range graphs[i].Sinks() {
+			for _, t := range graphs[i+1].Sources() {
+				b.AddEdge(off[i]+s, off[i+1]+t)
+			}
+		}
+	}
+	return b.MustBuild(), off
+}
+
+// InducedSubgraph returns the subgraph induced by keep (which must be
+// closed under nothing in particular — edges with an endpoint outside keep
+// are dropped). The second result maps old IDs to new IDs (-1 if dropped).
+func InducedSubgraph(name string, g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	remap := make([]NodeID, g.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	b := NewBuilder(name)
+	for _, v := range keep {
+		if v < 0 || int(v) >= g.N() {
+			panic(fmt.Sprintf("dag: InducedSubgraph node %d out of range", v))
+		}
+		if remap[v] != -1 {
+			continue
+		}
+		remap[v] = b.AddNode()
+		if l := g.Label(v); l != "" {
+			b.SetLabel(remap[v], l)
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if remap[u] == -1 {
+			continue
+		}
+		for _, v := range g.Succ(NodeID(u)) {
+			if remap[v] != -1 {
+				b.AddEdge(remap[u], remap[v])
+			}
+		}
+	}
+	return b.MustBuild(), remap
+}
+
+// Reverse returns the graph with every edge direction flipped (sources
+// become sinks and vice versa). Node IDs are preserved.
+func Reverse(name string, g *Graph) *Graph {
+	b := NewBuilder(name)
+	b.AddNodes(g.N())
+	for u := 0; u < g.N(); u++ {
+		if l := g.Label(NodeID(u)); l != "" {
+			b.SetLabel(NodeID(u), l)
+		}
+		for _, v := range g.Succ(NodeID(u)) {
+			b.AddEdge(v, NodeID(u))
+		}
+	}
+	return b.MustBuild()
+}

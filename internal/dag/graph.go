@@ -1,0 +1,349 @@
+// Package dag implements the computational DAGs that red-blue pebbling
+// operates on: directed acyclic graphs whose nodes are unit operations and
+// whose edges are data dependencies.
+//
+// Graphs are built through a Builder, which accumulates nodes and edges and
+// performs validation (duplicate edges, self-loops, cycles) at Build time.
+// The built Graph is immutable; all analysis (topological order, levels,
+// degrees, critical path) is computed on demand and cached.
+//
+// Node IDs are dense integers [0, N). Generators in package gen assign IDs
+// in a deterministic order so experiments are reproducible.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense in [0, N).
+type NodeID = int32
+
+// Graph is an immutable directed acyclic graph. Use NewBuilder to create
+// one. Parallel edges and self-loops are rejected at Build time.
+type Graph struct {
+	name string
+
+	// CSR-style adjacency: succ[succOff[v]:succOff[v+1]] are the
+	// out-neighbors of v, in ascending order; likewise pred for
+	// in-neighbors.
+	succOff []int32
+	succ    []NodeID
+	predOff []int32
+	pred    []NodeID
+
+	labels []string // optional node labels; nil when no node is labeled
+
+	topo    []NodeID // cached topological order (index-ascending tiebreak)
+	sources []NodeID
+	sinks   []NodeID
+	maxIn   int
+	maxOut  int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.succOff) - 1 }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.succ) }
+
+// Name returns the graph's descriptive name (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// Succ returns the out-neighbors of v in ascending order. The returned
+// slice is shared; callers must not modify it.
+func (g *Graph) Succ(v NodeID) []NodeID { return g.succ[g.succOff[v]:g.succOff[v+1]] }
+
+// Pred returns the in-neighbors of v in ascending order. The returned
+// slice is shared; callers must not modify it.
+func (g *Graph) Pred(v NodeID) []NodeID { return g.pred[g.predOff[v]:g.predOff[v+1]] }
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int { return int(g.predOff[v+1] - g.predOff[v]) }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int { return int(g.succOff[v+1] - g.succOff[v]) }
+
+// MaxInDegree returns Δ_in, the largest in-degree in the graph.
+func (g *Graph) MaxInDegree() int { return g.maxIn }
+
+// MaxOutDegree returns the largest out-degree in the graph.
+func (g *Graph) MaxOutDegree() int { return g.maxOut }
+
+// Sources returns the nodes with in-degree 0, ascending. Shared slice.
+func (g *Graph) Sources() []NodeID { return g.sources }
+
+// Sinks returns the nodes with out-degree 0, ascending. Shared slice.
+func (g *Graph) Sinks() []NodeID { return g.sinks }
+
+// IsSource reports whether v has no predecessors.
+func (g *Graph) IsSource(v NodeID) bool { return g.InDegree(v) == 0 }
+
+// IsSink reports whether v has no successors.
+func (g *Graph) IsSink(v NodeID) bool { return g.OutDegree(v) == 0 }
+
+// Label returns the label of v, or "" if unlabeled.
+func (g *Graph) Label(v NodeID) string {
+	if g.labels == nil {
+		return ""
+	}
+	return g.labels[v]
+}
+
+// HasEdge reports whether the edge (u,v) exists, in O(log deg(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	s := g.Succ(u)
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+// Topo returns a topological order of the nodes (smallest-ID-first among
+// ready nodes, so the order is deterministic). Shared slice.
+func (g *Graph) Topo() []NodeID { return g.topo }
+
+// Edges returns all edges as (u,v) pairs in u-ascending order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succ(NodeID(u)) {
+			out = append(out, [2]NodeID{NodeID(u), v})
+		}
+	}
+	return out
+}
+
+// Builder accumulates nodes and edges for a Graph.
+type Builder struct {
+	name   string
+	n      int
+	edges  [][2]NodeID
+	labels map[NodeID]string
+}
+
+// NewBuilder returns a Builder for a graph with the given descriptive name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: map[NodeID]string{}}
+}
+
+// AddNode appends one node and returns its ID.
+func (b *Builder) AddNode() NodeID {
+	id := NodeID(b.n)
+	b.n++
+	return id
+}
+
+// AddNodes appends c nodes and returns their IDs.
+func (b *Builder) AddNodes(c int) []NodeID {
+	ids := make([]NodeID, c)
+	for i := range ids {
+		ids[i] = b.AddNode()
+	}
+	return ids
+}
+
+// AddLabeledNode appends one node with a label and returns its ID.
+func (b *Builder) AddLabeledNode(label string) NodeID {
+	id := b.AddNode()
+	b.labels[id] = label
+	return id
+}
+
+// SetLabel sets the label of an existing node.
+func (b *Builder) SetLabel(v NodeID, label string) { b.labels[v] = label }
+
+// AddEdge records the directed edge u → v. Validation happens at Build.
+func (b *Builder) AddEdge(u, v NodeID) {
+	b.edges = append(b.edges, [2]NodeID{u, v})
+}
+
+// AddChain adds edges v0→v1→…→vk along the given nodes.
+func (b *Builder) AddChain(nodes ...NodeID) {
+	for i := 0; i+1 < len(nodes); i++ {
+		b.AddEdge(nodes[i], nodes[i+1])
+	}
+}
+
+// AddNewChain appends length fresh nodes joined into a chain and returns
+// them. A length of 0 returns nil.
+func (b *Builder) AddNewChain(length int) []NodeID {
+	ids := b.AddNodes(length)
+	b.AddChain(ids...)
+	return ids
+}
+
+// N returns the number of nodes added so far.
+func (b *Builder) N() int { return b.n }
+
+// Build validates the accumulated graph and returns it. It returns an
+// error if an edge endpoint is out of range, an edge is duplicated, a
+// self-loop exists, or the edge set contains a cycle.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	for _, e := range b.edges {
+		if e[0] < 0 || int(e[0]) >= n || e[1] < 0 || int(e[1]) >= n {
+			return nil, fmt.Errorf("dag %q: edge (%d,%d) out of range [0,%d)", b.name, e[0], e[1], n)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("dag %q: self-loop at node %d", b.name, e[0])
+		}
+	}
+
+	edges := make([][2]NodeID, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for i := 1; i < len(edges); i++ {
+		if edges[i] == edges[i-1] {
+			return nil, fmt.Errorf("dag %q: duplicate edge (%d,%d)", b.name, edges[i][0], edges[i][1])
+		}
+	}
+
+	g := &Graph{name: b.name}
+	g.succOff = make([]int32, n+1)
+	g.succ = make([]NodeID, len(edges))
+	g.predOff = make([]int32, n+1)
+	g.pred = make([]NodeID, len(edges))
+
+	for _, e := range edges {
+		g.succOff[e[0]+1]++
+		g.predOff[e[1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.succOff[v+1] += g.succOff[v]
+		g.predOff[v+1] += g.predOff[v]
+	}
+	fillS := make([]int32, n)
+	fillP := make([]int32, n)
+	for _, e := range edges {
+		g.succ[g.succOff[e[0]]+fillS[e[0]]] = e[1]
+		fillS[e[0]]++
+		g.pred[g.predOff[e[1]]+fillP[e[1]]] = e[0]
+		fillP[e[1]]++
+	}
+	// pred lists must be sorted ascending; edges were sorted by (u,v) so
+	// succ lists are already ascending, pred lists are not.
+	for v := 0; v < n; v++ {
+		p := g.pred[g.predOff[v]:g.predOff[v+1]]
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	}
+
+	if len(b.labels) > 0 {
+		g.labels = make([]string, n)
+		for id, l := range b.labels {
+			if int(id) >= n || id < 0 {
+				return nil, fmt.Errorf("dag %q: label on out-of-range node %d", b.name, id)
+			}
+			g.labels[id] = l
+		}
+	}
+
+	topo, err := g.computeTopo()
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
+
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(NodeID(v)); d > g.maxIn {
+			g.maxIn = d
+		}
+		if d := g.OutDegree(NodeID(v)); d > g.maxOut {
+			g.maxOut = d
+		}
+		if g.InDegree(NodeID(v)) == 0 {
+			g.sources = append(g.sources, NodeID(v))
+		}
+		if g.OutDegree(NodeID(v)) == 0 {
+			g.sinks = append(g.sinks, NodeID(v))
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for generators whose output is
+// correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// computeTopo runs Kahn's algorithm with a min-heap on node ID so the
+// produced order is deterministic. Returns an error if a cycle remains.
+func (g *Graph) computeTopo() ([]NodeID, error) {
+	n := g.N()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(g.InDegree(NodeID(v)))
+	}
+	var heap nodeHeap
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			heap.push(NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for heap.len() > 0 {
+		v := heap.pop()
+		order = append(order, v)
+		for _, w := range g.Succ(v) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				heap.push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag %q: cycle detected (%d of %d nodes ordered)", g.name, len(order), n)
+	}
+	return order, nil
+}
+
+// nodeHeap is a minimal binary min-heap of NodeIDs (avoiding the
+// container/heap interface indirection on this hot path).
+type nodeHeap struct{ a []NodeID }
+
+func (h *nodeHeap) len() int { return len(h.a) }
+
+func (h *nodeHeap) push(v NodeID) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() NodeID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.a[l] < h.a[s] {
+			s = l
+		}
+		if r < last && h.a[r] < h.a[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.a[i], h.a[s] = h.a[s], h.a[i]
+		i = s
+	}
+	return top
+}

@@ -1,0 +1,271 @@
+package dag
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the 4-node diamond 0→{1,2}→3.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("diamond")
+	v := b.AddNodes(4)
+	b.AddEdge(v[0], v[1])
+	b.AddEdge(v[0], v[2])
+	b.AddEdge(v[1], v[3])
+	b.AddEdge(v[2], v[3])
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDiamondBasics(t *testing.T) {
+	g := diamond(t)
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if got := g.Succ(0); !reflect.DeepEqual(got, []NodeID{1, 2}) {
+		t.Errorf("Succ(0) = %v", got)
+	}
+	if got := g.Pred(3); !reflect.DeepEqual(got, []NodeID{1, 2}) {
+		t.Errorf("Pred(3) = %v", got)
+	}
+	if g.InDegree(3) != 2 || g.OutDegree(0) != 2 || g.InDegree(0) != 0 {
+		t.Error("degree mismatch")
+	}
+	if g.MaxInDegree() != 2 || g.MaxOutDegree() != 2 {
+		t.Error("max degree mismatch")
+	}
+	if got := g.Sources(); !reflect.DeepEqual(got, []NodeID{0}) {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []NodeID{3}) {
+		t.Errorf("Sinks = %v", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(0, 3) {
+		t.Error("HasEdge mismatch")
+	}
+	if !g.IsSource(0) || !g.IsSink(3) || g.IsSink(0) {
+		t.Error("IsSource/IsSink mismatch")
+	}
+}
+
+func TestTopoIsValidAndDeterministic(t *testing.T) {
+	g := diamond(t)
+	topo := g.Topo()
+	if !reflect.DeepEqual(topo, []NodeID{0, 1, 2, 3}) {
+		t.Fatalf("Topo = %v", topo)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("cycle", func(t *testing.T) {
+		b := NewBuilder("c")
+		v := b.AddNodes(3)
+		b.AddEdge(v[0], v[1])
+		b.AddEdge(v[1], v[2])
+		b.AddEdge(v[2], v[0])
+		if _, err := b.Build(); err == nil {
+			t.Fatal("cycle accepted")
+		}
+	})
+	t.Run("self-loop", func(t *testing.T) {
+		b := NewBuilder("s")
+		v := b.AddNode()
+		b.AddEdge(v, v)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("self-loop accepted")
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		b := NewBuilder("d")
+		v := b.AddNodes(2)
+		b.AddEdge(v[0], v[1])
+		b.AddEdge(v[0], v[1])
+		if _, err := b.Build(); err == nil {
+			t.Fatal("duplicate edge accepted")
+		}
+	})
+	t.Run("out of range", func(t *testing.T) {
+		b := NewBuilder("o")
+		b.AddNode()
+		b.AddEdge(0, 5)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("out-of-range edge accepted")
+		}
+	})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder("empty").MustBuild()
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if got := g.CriticalPathLength(); got != 0 {
+		t.Fatalf("depth of empty = %d", got)
+	}
+}
+
+func TestChainHelpers(t *testing.T) {
+	b := NewBuilder("chain")
+	ids := b.AddNewChain(5)
+	g := b.MustBuild()
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("chain n=%d m=%d", g.N(), g.M())
+	}
+	if got := g.CriticalPathLength(); got != 5 {
+		t.Fatalf("chain depth = %d", got)
+	}
+	if ids[0] != 0 || ids[4] != 4 {
+		t.Fatalf("chain ids = %v", ids)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	lvl, depth := g.Levels()
+	if !reflect.DeepEqual(lvl, []int{0, 1, 1, 2}) || depth != 3 {
+		t.Fatalf("Levels = %v depth=%d", lvl, depth)
+	}
+	sets := g.LevelSets()
+	if len(sets) != 3 || !reflect.DeepEqual(sets[1], []NodeID{1, 2}) {
+		t.Fatalf("LevelSets = %v", sets)
+	}
+	if g.WidestLevel() != 2 {
+		t.Fatalf("WidestLevel = %d", g.WidestLevel())
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := diamond(t)
+	if got := g.Ancestors(3).Slice(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Ancestors(3) = %v", got)
+	}
+	if got := g.Descendants(0).Slice(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("Descendants(0) = %v", got)
+	}
+	if !g.Ancestors(0).Empty() || !g.Descendants(3).Empty() {
+		t.Error("source has ancestors / sink has descendants")
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	g := diamond(t)
+	if got := g.CountPaths(1 << 40); got != 2 {
+		t.Fatalf("CountPaths(diamond) = %d", got)
+	}
+	// Chain of diamonds multiplies path counts: serial composition of 3
+	// diamonds has 2^3 = 8 paths.
+	s, _ := Serial("3diamonds", g, g, g)
+	if got := s.CountPaths(1 << 40); got != 8 {
+		t.Fatalf("CountPaths(serial) = %d", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	// Star 0→1, 0→2, 0→3 is 2-layer and... out-degree 3, so not in-tree.
+	b := NewBuilder("star")
+	v := b.AddNodes(4)
+	for i := 1; i < 4; i++ {
+		b.AddEdge(v[0], v[i])
+	}
+	star := b.MustBuild()
+	if !star.IsTwoLayer() {
+		t.Error("star not 2-layer")
+	}
+	if star.IsInTree() {
+		t.Error("star claimed in-tree")
+	}
+
+	// In-star 1→0, 2→0, 3→0 is an in-tree.
+	b2 := NewBuilder("instar")
+	w := b2.AddNodes(4)
+	for i := 1; i < 4; i++ {
+		b2.AddEdge(w[i], w[0])
+	}
+	instar := b2.MustBuild()
+	if !instar.IsInTree() {
+		t.Error("in-star not in-tree")
+	}
+
+	d := diamond(t)
+	if d.IsTwoLayer() {
+		t.Error("diamond claimed 2-layer")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder("lab")
+	v := b.AddLabeledNode("input")
+	w := b.AddNode()
+	b.AddEdge(v, w)
+	g := b.MustBuild()
+	if g.Label(v) != "input" || g.Label(w) != "" {
+		t.Fatal("labels mismatch")
+	}
+}
+
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder("rand")
+	b.AddNodes(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestQuickTopoRespectsEdges(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 2+rng.Intn(40), rng.Float64()*0.4)
+		pos := make([]int, g.N())
+		for i, v := range g.Topo() {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return len(g.Topo()) == g.N()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreesSumToEdges(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(50), rng.Float64()*0.5)
+		in, out := 0, 0
+		for v := 0; v < g.N(); v++ {
+			in += g.InDegree(NodeID(v))
+			out += g.OutDegree(NodeID(v))
+		}
+		return in == g.M() && out == g.M()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 1+rng.Intn(30), rng.Float64()*0.5)
+		rr := Reverse("rr", Reverse("r", g))
+		return reflect.DeepEqual(g.Edges(), rr.Edges())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/opt"
+	"repro/internal/pebble"
+	"repro/internal/proofs"
+	"repro/internal/sched"
+)
+
+// E01Figure1 reproduces the Section 1 walkthrough on the Figure 1 DAG:
+// the single-processor strategy with r = 3 (6 I/O operations, cost 21)
+// and the two-processor strategy that halves the parallel steps and needs
+// only the v5 handover (cost 12).
+func E01Figure1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E01",
+		Title:   "Figure 1 walkthrough",
+		Claim:   "On the example DAG, k=2 processors with r=3 each execute both subtrees in parallel, reducing compute and I/O steps by a factor 2, with one v5 handover through shared memory.",
+		Columns: []string{"setting", "strategy", "cost", "io-moves", "compute-moves", "io-actions"},
+	}
+	g, ids := gen.Figure1()
+
+	in1 := pebble.MustInstance(g, pebble.MPP(1, 3, 1))
+	s1 := proofs.Figure1Single(in1, ids)
+	rep1, err := pebble.Replay(in1, s1)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("k=1 r=3 g=1", "paper walkthrough", d64(rep1.Cost), di(rep1.IOMoves), di(rep1.ComputeMoves), di(rep1.IOActions))
+
+	in2 := pebble.MustInstance(g, pebble.MPP(2, 3, 1))
+	s2 := proofs.Figure1Double(in2, ids)
+	rep2, err := pebble.Replay(in2, s2)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("k=2 r=3 g=1", "paper walkthrough", d64(rep2.Cost), di(rep2.IOMoves), di(rep2.ComputeMoves), di(rep2.IOActions))
+
+	name1, best1, err := bestOf(in1, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("k=1 r=3 g=1", "best heuristic: "+name1, d64(best1.Cost), di(best1.IOMoves), di(best1.ComputeMoves), di(best1.IOActions))
+	name2, best2, err := bestOf(in2, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("k=2 r=3 g=1", "best heuristic: "+name2, d64(best2.Cost), di(best2.IOMoves), di(best2.ComputeMoves), di(best2.IOActions))
+
+	t.AddCheck("single-proc walkthrough", rep1.IOActions == 6 && rep1.Cost == 21,
+		"6 I/O actions and cost 21 as narrated (got io=%d cost=%d)", rep1.IOActions, rep1.Cost)
+	t.AddCheck("two-proc parallel win", rep2.ComputeMoves*2 >= rep1.ComputeMoves && rep2.Cost < rep1.Cost,
+		"compute moves %d→%d (≈×2 reduction), cost %d→%d", rep1.ComputeMoves, rep2.ComputeMoves, rep1.Cost, rep2.Cost)
+	t.AddCheck("handover through shared memory", rep2.IOMoves == 4,
+		"2 subtree spills + write/read handover of v5 (got %d I/O moves)", rep2.IOMoves)
+	return t, nil
+}
+
+// E02Lemma1 verifies the Lemma 1 sandwich n/k ≤ OPT ≤ (g(Δin+1)+1)·n on a
+// DAG zoo, using the exact solver where feasible and the best heuristic
+// otherwise, and confirms the Baseline scheduler realizes the upper bound
+// argument.
+func E02Lemma1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E02",
+		Title:   "Lemma 1: trivial cost bounds",
+		Claim:   "For any MPP instance, n/k ≤ OPT ≤ (g·(Δin+1)+1)·n.",
+		Columns: []string{"dag", "n", "k", "r", "g", "lower n/k", "cost", "via", "upper", "within"},
+	}
+	type inst struct {
+		name string
+		g    *dag.Graph
+		k, r int
+	}
+	zoo := []inst{}
+	add := func(name string, gr *dag.Graph, k, rExtra int) {
+		zoo = append(zoo, inst{name, gr, k, gr.MaxInDegree() + 1 + rExtra})
+	}
+	size := 6
+	if cfg.Quick {
+		size = 4
+	}
+	add("grid", gen.Grid2D(size, size), 2, 1)
+	add("fft", gen.FFT(3), 2, 2)
+	add("intree", gen.BinaryInTree(4), 3, 1)
+	add("pyramid", gen.Pyramid(size), 2, 2)
+	add("chains", gen.IndependentChains(4, 8), 4, 1)
+	zg, _ := gen.Zipper(3, 12, 0)
+	add("zipper", zg, 2, 0)
+	add("random", gen.RandomDAG(36, 0.15, 4, 7), 3, 2)
+	add("tiny-exact", gen.RandomDAG(7, 0.3, 2, 9), 2, 1)
+
+	allWithin := true
+	baselineAtBound := true
+	for _, z := range zoo {
+		ioCost := 3
+		in := pebble.MustInstance(z.g, pebble.MPP(z.k, z.r, ioCost))
+		lo, hi := bounds.Lemma1Lower(in), bounds.Lemma1Upper(in)
+		var cost int64
+		via := ""
+		if z.g.N() <= 8 {
+			res, err := opt.Exact(in, 4_000_000)
+			if err != nil {
+				return nil, err
+			}
+			cost, via = res.Cost, "exact"
+		} else {
+			name, rep, err := bestOf(in, nil)
+			if err != nil {
+				return nil, err
+			}
+			cost, via = rep.Cost, name
+		}
+		within := cost >= lo && cost <= hi
+		allWithin = allWithin && within
+		// Baseline must stay at or below the analytic upper bound.
+		bl, err := sched.Run(sched.Baseline{}, in)
+		if err != nil {
+			return nil, err
+		}
+		if bl.Cost > hi {
+			baselineAtBound = false
+		}
+		t.AddRow(z.name, di(z.g.N()), di(z.k), di(z.r), di(ioCost), d64(lo), d64(cost), via, d64(hi), boolMark(within))
+	}
+	t.AddCheck("sandwich holds", allWithin, "every measured cost lies in [n/k, (g(Δin+1)+1)n]")
+	t.AddCheck("baseline realizes upper-bound argument", baselineAtBound,
+		"the Lemma 1 strategy never exceeds the analytic upper bound")
+	return t, nil
+}
+
+// E03GreedyUpper verifies Lemma 3: any non-idle greedy schedule is within
+// a 2(g(Δin+1)+1) factor of the optimum. On small instances the ratio is
+// taken against the exact optimum, elsewhere against the n/k lower bound
+// (which only makes the test stricter for the claim's direction).
+func E03GreedyUpper(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E03",
+		Title:   "Lemma 3: greedy upper bound",
+		Claim:   "Any non-idle greedy pebbling is a 2·(g·(Δin+1)+1)-approximation of the optimum.",
+		Columns: []string{"dag", "k", "g", "greedy", "reference", "kind", "ratio", "factor bound"},
+	}
+	type inst struct {
+		name string
+		g    *dag.Graph
+		k    int
+	}
+	zoo := []inst{
+		{"tiny-random", gen.RandomDAG(7, 0.3, 2, 3), 2},
+		{"tiny-grid", gen.Grid2D(2, 3), 1},
+		{"grid", gen.Grid2D(5, 5), 2},
+		{"fft", gen.FFT(3), 2},
+		{"intree", gen.BinaryInTree(4), 2},
+		{"chains", gen.IndependentChains(3, 9), 3},
+	}
+	if !cfg.Quick {
+		zoo = append(zoo,
+			inst{"fft16", gen.FFT(4), 4},
+			inst{"random", gen.RandomDAG(60, 0.1, 4, 5), 3},
+		)
+	}
+	allOK := true
+	for _, z := range zoo {
+		ioCost := 2
+		r := z.g.MaxInDegree() + 2
+		in := pebble.MustInstance(z.g, pebble.MPP(z.k, r, ioCost))
+		rep, err := sched.Run(sched.Greedy{}, in)
+		if err != nil {
+			return nil, err
+		}
+		var ref int64
+		kind := ""
+		if z.g.N() <= 8 {
+			res, err := opt.Exact(in, 4_000_000)
+			if err != nil {
+				return nil, err
+			}
+			ref, kind = res.Cost, "exact OPT"
+		} else {
+			ref, kind = bounds.Lemma1Lower(in), "n/k bound"
+		}
+		factor := 2 * (float64(ioCost)*float64(z.g.MaxInDegree()+1) + 1)
+		rt := ratio(rep.Cost, ref)
+		ok := rt <= factor
+		allOK = allOK && ok
+		t.AddRow(z.name, di(z.k), di(ioCost), d64(rep.Cost), d64(ref), kind, f2(rt), f1(factor))
+	}
+	t.AddCheck("greedy within Lemma 3 factor", allOK,
+		"greedy/reference ≤ 2(g(Δin+1)+1) on every instance")
+	return t, nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

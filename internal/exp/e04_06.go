@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/proofs"
+	"repro/internal/sched"
+)
+
+// greedyVariants is the policy sweep standing in for Lemma 4's "any such
+// greedy" quantifier.
+func greedyVariants() []sched.Greedy {
+	return []sched.Greedy{
+		{Select: sched.SelectCount, Tie: sched.TieLowID, Evict: sched.EvictLRU},
+		{Select: sched.SelectCount, Tie: sched.TieHighID, Evict: sched.EvictLRU},
+		{Select: sched.SelectCount, Tie: sched.TieLowID, Evict: sched.EvictFewestUses},
+		{Select: sched.SelectCount, Tie: sched.TieHighID, Evict: sched.EvictFewestUses},
+		{Select: sched.SelectFraction, Tie: sched.TieLowID, Evict: sched.EvictLRU},
+		{Select: sched.SelectFraction, Tie: sched.TieHighID, Evict: sched.EvictFewestUses},
+	}
+}
+
+// E04GreedyTraps reproduces Lemma 4: families where every greedy variant
+// is asymptotically worse than the optimum — by ≈ Δin−1 ≥ Δin/5−1 on the
+// tail-less zipper with g = d (greedy reloads what the optimum cheaply
+// recomputes), and by ≈ 2g/3+1 on the bait gadget (greedy computes every
+// bait eagerly and pays 2g per block to park it).
+func E04GreedyTraps(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E04",
+		Title:   "Lemma 4: greedy adversarial families",
+		Claim:   "There are DAGs where any most-red-predecessors greedy is worse than OPT by ≈ Δin/5−1, and others where it is worse by ≈ 2g/3+1.",
+		Columns: []string{"family", "param", "worst greedy", "min greedy", "reference", "ratio", "lemma factor"},
+	}
+	n0 := 40
+	m := 30
+	if cfg.Quick {
+		n0, m = 16, 10
+	}
+
+	// Family A: tail-less zipper, g = d, r = d+2 — Δin-factor trap.
+	deltaOK := true
+	var lastRatioA float64
+	for _, d := range []int{2, 4, 6} {
+		g, ids := gen.Zipper(d, n0, 0)
+		in := pebble.MustInstance(g, pebble.MPP(1, d+2, d))
+		ref, err := pebble.Replay(in, proofs.ZipperRecompute(in, ids))
+		if err != nil {
+			return nil, err
+		}
+		worst, least := int64(0), int64(math.MaxInt64)
+		for _, gv := range greedyVariants() {
+			rep, err := sched.Run(gv, in)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Cost > worst {
+				worst = rep.Cost
+			}
+			if rep.Cost < least {
+				least = rep.Cost
+			}
+		}
+		rt := ratio(least, ref.Cost) // least: the claim quantifies over ALL greedy variants
+		lastRatioA = rt
+		lemma := float64(d+1)/5 - 1 // Δin = d+1
+		if rt < lemma {
+			deltaOK = false
+		}
+		t.AddRow("zipper (Δin trap)", "d="+di(d)+" g="+di(d), d64(worst), d64(least), d64(ref.Cost), f2(rt), f2(lemma))
+	}
+	t.AddCheck("Δin-factor trap", deltaOK && lastRatioA > 2,
+		"every greedy variant is ≥ Δin/5−1 and ≫ 1 worse than the recompute optimum (last ratio %.2f)", lastRatioA)
+
+	// Family B: bait gadget, d = 2, r = d+5 — g-factor trap. Our gadget
+	// spends 4 compute steps per block (the paper's unpublished version
+	// manages 3, giving 2g/3+1); its own asymptote is therefore 1 + g/2 —
+	// the same Θ(g) separation.
+	gOK := true
+	var ratiosB []float64
+	var lastAsymB float64
+	for _, ioCost := range []int{2, 4, 8} {
+		g, ids := gen.GreedyTrapG(2, m)
+		in := pebble.MustInstance(g, pebble.MPP(1, 2+5, ioCost))
+		ref, err := pebble.Replay(in, proofs.TrapGOptimal(in, ids))
+		if err != nil {
+			return nil, err
+		}
+		worst, least := int64(0), int64(math.MaxInt64)
+		for _, gv := range greedyVariants() {
+			rep, err := sched.Run(gv, in)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Cost > worst {
+				worst = rep.Cost
+			}
+			if rep.Cost < least {
+				least = rep.Cost
+			}
+		}
+		rt := ratio(least, ref.Cost)
+		ratiosB = append(ratiosB, rt)
+		lastAsymB = 1 + float64(ioCost)/2
+		if rt < 0.7*lastAsymB {
+			gOK = false
+		}
+		t.AddRow("bait gadget (g trap)", "g="+di(ioCost)+" m="+di(m), d64(worst), d64(least), d64(ref.Cost),
+			f2(rt), f2(lastAsymB)+" (paper: "+f2(1+2*float64(ioCost)/3)+")")
+	}
+	for i := 1; i < len(ratiosB); i++ {
+		if ratiosB[i] <= ratiosB[i-1] {
+			gOK = false
+		}
+	}
+	t.AddCheck("g-factor trap", gOK && ratiosB[len(ratiosB)-1] > 2,
+		"every greedy variant is Θ(g) worse than the interleaved optimum and the gap grows with g (last ratio %.2f vs asymptote %.2f)",
+		ratiosB[len(ratiosB)-1], lastAsymB)
+	t.AddNote("'min greedy' is the best policy in the sweep — the lemma quantifies over all greedy variants, so the ratio uses it")
+	return t, nil
+}
+
+// E05LowerBounds instantiates Lemma 5 / Corollary 1: the Hong–Kung FFT
+// bound and the Kwasniewski MMM bound, translated to MPP, against the
+// measured I/O of our best strategies. Measured I/O must upper-bound the
+// translated lower bound shape (constants differ; the check allows the
+// classic bounds' constant slack).
+func E05LowerBounds(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E05",
+		Title:   "Lemma 5 / Corollary 1: translated I/O lower bounds",
+		Claim:   "An SPP I/O lower bound L for fast memory k·r gives an MPP I/O bound L/k and a cost bound g·L/k + n/k (FFT: Hong–Kung; MMM: Kwasniewski et al.).",
+		Columns: []string{"workload", "n", "k", "r", "measured io-moves", "bound L/k", "meas/bound", "measured cost", "cost bound"},
+	}
+	logNs := []int{3, 4, 5}
+	mmNs := []int{2, 3, 4}
+	if cfg.Quick {
+		logNs = []int{3, 4}
+		mmNs = []int{2, 3}
+	}
+	ioCost := 2
+	fftOK, mmOK := true, true
+	var fftRatios []float64
+	for _, logN := range logNs {
+		n := 1 << logN
+		g := gen.FFT(logN)
+		for _, k := range []int{1, 2} {
+			r := 4
+			in := pebble.MustInstance(g, pebble.MPP(k, r, ioCost))
+			_, rep, err := bestOf(in, nil)
+			if err != nil {
+				return nil, err
+			}
+			bound := bounds.Lemma5IO(bounds.HongKungFFT(n, r*k), k)
+			costBound := bounds.FFTCostLowerBound(n, k, r, ioCost)
+			rt := float64(rep.IOMoves) / bound
+			fftRatios = append(fftRatios, rt)
+			t.AddRow("fft", di(g.N()), di(k), di(r), di(rep.IOMoves), f1(bound), f2(rt),
+				d64(rep.Cost), f1(costBound))
+		}
+	}
+	// Shape check: measured I/O grows at least like the bound across n
+	// (ratios stay within a modest band rather than collapsing).
+	for _, rt := range fftRatios {
+		if rt < 0.1 {
+			fftOK = false
+		}
+	}
+	var mmRatios []float64
+	for _, n := range mmNs {
+		g, mmIDs := gen.MatMulWithIDs(n)
+		for _, k := range []int{1, 2} {
+			r := 6 // ≥ 3b²+2 at b=1, so the tiled schedule applies
+			in := pebble.MustInstance(g, pebble.MPP(k, r, ioCost))
+			extra := map[string]*pebble.Strategy{}
+			if k == 1 {
+				extra["tiled(proof)"] = proofs.MatMulTiled(in, mmIDs)
+			}
+			_, rep, err := bestOf(in, extra)
+			if err != nil {
+				return nil, err
+			}
+			bound := bounds.Lemma5IO(bounds.KwasniewskiMMM(n, r*k), k)
+			costBound := bounds.MMMCostLowerBound(n, k, r, ioCost)
+			rt := float64(rep.IOMoves) / bound
+			mmRatios = append(mmRatios, rt)
+			t.AddRow("matmul", di(g.N()), di(k), di(r), di(rep.IOMoves), f1(bound), f2(rt),
+				d64(rep.Cost), f1(costBound))
+		}
+	}
+	for _, rt := range mmRatios {
+		if rt < 0.1 {
+			mmOK = false
+		}
+	}
+	t.AddCheck("FFT bound shape", fftOK,
+		"measured I/O tracks n·log n/log(rk)/k within constant factors across n and k")
+	t.AddCheck("MMM bound shape", mmOK,
+		"measured I/O tracks (2n³/√(rk)+n²)/k within constant factors across n and k")
+	t.AddNote("the classic bounds omit leading constants; ratios are expected to sit in a constant band, not at exactly 1")
+	t.AddNote("matmul k=1 rows include the blocked schedule of proofs.MatMulTiled, whose I/O volume 2n³/Θ(√r)+n² realizes the bound's shape")
+	return t, nil
+}
+
+// E06Tightness demonstrates Lemma 6: instances where the Corollary 1
+// bound g·L/k + n/k is matched up to a constant — k independent FFT
+// copies, each pebbled by one processor.
+func E06Tightness(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E06",
+		Title:   "Lemma 6: tightness of the translated bound",
+		Claim:   "There are DAGs with OPT ≤ g·L/k + n/k + O(1), i.e. the Corollary 1 lower bound is essentially achievable.",
+		Columns: []string{"copies k", "n", "r", "g", "measured cost", "g·L/k + n/k", "ratio"},
+	}
+	logN := 4
+	if cfg.Quick {
+		logN = 3
+	}
+	ioCost := 2
+	allTight := true
+	for _, k := range []int{1, 2, 4} {
+		one := gen.FFT(logN)
+		parts := make([]*dag.Graph, k)
+		for i := range parts {
+			parts[i] = one
+		}
+		g, _ := dag.Union("fft-copies", parts...)
+		r := 4
+		in := pebble.MustInstance(g, pebble.MPP(k, r, ioCost))
+		_, rep, err := bestOf(in, nil)
+		if err != nil {
+			return nil, err
+		}
+		// L is the SPP(k·r) bound for the whole k-copy DAG: k copies of
+		// the single-copy bound (the partition argument applies per copy).
+		L := float64(k) * bounds.HongKungFFT(1<<logN, r*k)
+		bound := bounds.Corollary1Cost(L, g.N(), k, ioCost)
+		rt := float64(rep.Cost) / bound
+		if rt > 12 { // constant-factor band
+			allTight = false
+		}
+		t.AddRow(di(k), di(g.N()), di(r), di(ioCost), d64(rep.Cost), f1(bound), f2(rt))
+	}
+	t.AddCheck("bound achieved up to constants", allTight,
+		"measured cost stays within a constant factor of g·L/k + n/k as k grows")
+	return t, nil
+}

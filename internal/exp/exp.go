@@ -1,0 +1,295 @@
+// Package exp is the experiment harness: one experiment per figure and
+// per quantitative lemma of the paper, each regenerating the construction,
+// running schedulers / proof strategies / exact solvers, and checking that
+// the claimed shape (who wins, by what factor, where crossovers fall)
+// holds. cmd/mppexp renders the tables recorded in EXPERIMENTS.md; the
+// root bench_test.go exposes each experiment as a benchmark.
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks instance sizes so the whole suite runs in seconds
+	// (used by tests); full mode is the default for cmd/mppexp.
+	Quick bool
+}
+
+// Check is one verified claim inside an experiment.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Table is an experiment's rendered result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Checks  []Check
+	Notes   []string
+}
+
+// Pass reports whether every check passed.
+func (t *Table) Pass() bool {
+	for _, c := range t.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddCheck records a shape check.
+func (t *Table) AddCheck(name string, pass bool, format string, args ...any) {
+	t.Checks = append(t.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// AddNote appends a free-form note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"E01", "Figure 1 walkthrough", E01Figure1},
+		{"E02", "Lemma 1: trivial cost bounds", E02Lemma1},
+		{"E03", "Lemma 3: greedy upper bound", E03GreedyUpper},
+		{"E04", "Lemma 4: greedy adversarial families", E04GreedyTraps},
+		{"E05", "Lemma 5 / Corollary 1: translated I/O lower bounds", E05LowerBounds},
+		{"E06", "Lemma 6: tightness of the translated bound", E06Tightness},
+		{"E07", "Lemma 7: fair-comparison speedup limit", E07FairSpeedup},
+		{"E08", "Lemma 8: fair-comparison cost blowup", E08FairBlowup},
+		{"E09", "Lemma 9: non-monotonicity in k", E09NonMonotone},
+		{"E10", "Lemma 10: superlinear speedup (zipper)", E10Superlinear},
+		{"E11", "Section 5: I/O-count jumps in both directions", E11IOJumps},
+		{"E12", "Theorem 2 / Figures 3-4: clique reduction", E12CliqueReduction},
+		{"E13", "Theorem 1 / Lemma 11: vertex-cover coupling", E13VertexCover},
+		{"E14", "Lemma 2: NP-hard DAG classes", E14HardClasses},
+		{"E15", "Section 3.3: MPP(r=∞) ≡ BSP DAG scheduling", E15BSPEquiv},
+		{"E16", "Ablation: greedy policy choices", E16EvictionAblation},
+		{"E17", "Section 3.3: sync vs async execution", E17AsyncRelaxation},
+		{"E18", "Corollary 2: surplus-cost inapproximability", E18SurplusInapprox},
+		{"E19", "Lemma 5: the k-to-1 simulation, executed", E19Sequentialize},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Render writes the table as aligned text.
+func Render(w io.Writer, t *Table) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, c := range t.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown (used to
+// regenerate EXPERIMENTS.md).
+func RenderMarkdown(w io.Writer, t *Table) {
+	fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "**Paper claim.** %s\n\n", t.Claim)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, c := range t.Checks {
+		mark := "✅"
+		if !c.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(w, "- %s **%s** — %s\n", mark, c.Name, c.Detail)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "- note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// heuristics returns the scheduler portfolio used when "best found
+// strategy" stands in for OPT at sizes the exact solver cannot reach.
+func heuristics() []sched.Scheduler {
+	return []sched.Scheduler{
+		sched.Greedy{Select: sched.SelectCount, Tie: sched.TieLowID, Evict: sched.EvictLRU},
+		sched.Greedy{Select: sched.SelectCount, Tie: sched.TieHighID, Evict: sched.EvictFewestUses},
+		sched.Greedy{Select: sched.SelectFraction, Tie: sched.TieLowID, Evict: sched.EvictLRU},
+		sched.Partitioned{Assign: sched.AssignAllToOne, AssignName: "one"},
+		sched.Partitioned{Assign: sched.AssignComponents, AssignName: "components"},
+		sched.Partitioned{Assign: sched.AssignLevelRoundRobin, AssignName: "levels"},
+		sched.Partitioned{Assign: sched.AssignTopoBlocks, AssignName: "blocks"},
+	}
+}
+
+// bestOf runs the heuristic portfolio concurrently (one goroutine per
+// scheduler — they share nothing but the read-only instance), considers
+// any extra pre-built strategies, post-optimizes the winner with
+// sched.Improve, and returns the name and report of the cheapest valid
+// result.
+func bestOf(in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pebble.Report, error) {
+	type outcome struct {
+		name  string
+		strat *pebble.Strategy
+		rep   *pebble.Report
+	}
+	hs := heuristics()
+	results := make(chan outcome, len(hs))
+	var wg sync.WaitGroup
+	for _, s := range hs {
+		wg.Add(1)
+		go func(s sched.Scheduler) {
+			defer wg.Done()
+			strat, err := s.Schedule(in)
+			if err != nil {
+				// A heuristic failing on an exotic instance is tolerated
+				// as long as something succeeds.
+				return
+			}
+			rep, err := pebble.Replay(in, strat)
+			if err != nil {
+				return
+			}
+			results <- outcome{s.Name(), strat, rep}
+		}(s)
+	}
+	wg.Wait()
+	close(results)
+
+	// Deterministic winner among ties: sort by (cost, name).
+	var all []outcome
+	for o := range results {
+		all = append(all, o)
+	}
+	for name, s := range extra {
+		rep, err := pebble.Replay(in, s)
+		if err != nil {
+			return "", nil, fmt.Errorf("exp: crafted strategy %q invalid: %w", name, err)
+		}
+		all = append(all, outcome{name, s, rep})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rep.Cost != all[j].rep.Cost {
+			return all[i].rep.Cost < all[j].rep.Cost
+		}
+		return all[i].name < all[j].name
+	})
+	bestName := ""
+	var best *pebble.Report
+	var bestStrat *pebble.Strategy
+	if len(all) > 0 {
+		bestName, best, bestStrat = all[0].name, all[0].rep, all[0].strat
+	}
+	if best == nil {
+		return "", nil, fmt.Errorf("exp: no scheduler produced a valid strategy for %s", in)
+	}
+	if _, improved, err := sched.Improve(in, bestStrat); err == nil && improved.Cost < best.Cost {
+		bestName, best = bestName+"+improve", improved
+	}
+	return bestName, best, nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d64(v int64) string  { return fmt.Sprintf("%d", v) }
+func di(v int) string     { return fmt.Sprintf("%d", v) }
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// RenderCSV writes the table's rows as CSV (RFC 4180), one file-worth per
+// table, preceded by a header row. Claims, checks and notes are omitted —
+// CSV output is meant for plotting pipelines.
+func RenderCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

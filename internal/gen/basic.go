@@ -1,0 +1,171 @@
+// Package gen builds the DAG families used throughout the paper and its
+// experiments: elementary families (chains, trees, layered and random
+// DAGs, grids, pyramids), classic workloads with known I/O lower bounds
+// (FFT butterfly, dense matrix multiplication), and the paper's proof
+// gadgets (the zipper of Figure 2 and its relatives, the fair-comparison
+// blowup gadget, the non-monotonicity gadget, the I/O-jump gadgets of
+// Section 5, and greedy trap families for Lemma 4).
+//
+// All generators are deterministic: random families take an explicit seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Chain returns a path of n nodes: 0 → 1 → … → n−1.
+func Chain(n int) *dag.Graph {
+	b := dag.NewBuilder(fmt.Sprintf("chain-%d", n))
+	b.AddNewChain(n)
+	return b.MustBuild()
+}
+
+// IndependentChains returns k disjoint chains of length each — the DAG
+// showing tightness of Lemma 7 (perfect factor-k parallel speedup).
+func IndependentChains(k, length int) *dag.Graph {
+	b := dag.NewBuilder(fmt.Sprintf("chains-%dx%d", k, length))
+	for i := 0; i < k; i++ {
+		b.AddNewChain(length)
+	}
+	return b.MustBuild()
+}
+
+// BinaryInTree returns a complete binary in-tree of the given depth:
+// 2^depth leaves (sources) reducing pairwise to a single sink root.
+// depth 0 is a single node. Every out-degree is ≤ 1, so the graph lies in
+// the in-tree class of Lemma 2.
+func BinaryInTree(depth int) *dag.Graph {
+	b := dag.NewBuilder(fmt.Sprintf("intree-%d", depth))
+	// Build level by level from the leaves down to the root.
+	prev := b.AddNodes(1 << depth)
+	for l := depth - 1; l >= 0; l-- {
+		cur := b.AddNodes(1 << l)
+		for i, v := range cur {
+			b.AddEdge(prev[2*i], v)
+			b.AddEdge(prev[2*i+1], v)
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// BinaryOutTree returns a complete binary out-tree: one source fanning out
+// to 2^depth sinks.
+func BinaryOutTree(depth int) *dag.Graph {
+	return dag.Reverse(fmt.Sprintf("outtree-%d", depth), BinaryInTree(depth))
+}
+
+// TwoLayerRandom returns a random bipartite DAG with the given numbers of
+// sources and sinks; each (source, sink) edge is present independently
+// with probability p. Every node path has length ≤ 1, so the graph lies in
+// the 2-layer class of Lemma 2. Isolated sinks keep in-degree 0.
+func TwoLayerRandom(sources, sinks int, p float64, seed int64) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("twolayer-%dx%d", sources, sinks))
+	src := b.AddNodes(sources)
+	snk := b.AddNodes(sinks)
+	for _, u := range src {
+		for _, v := range snk {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// LayeredRandom returns a DAG with the given layer widths; each node in
+// layer i+1 draws indeg predecessors uniformly from layer i (capped at the
+// layer width).
+func LayeredRandom(widths []int, indeg int, seed int64) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(fmt.Sprintf("layered-%d", len(widths)))
+	var prev []dag.NodeID
+	for _, w := range widths {
+		cur := b.AddNodes(w)
+		if prev != nil {
+			for _, v := range cur {
+				d := indeg
+				if d > len(prev) {
+					d = len(prev)
+				}
+				for _, pi := range rng.Perm(len(prev))[:d] {
+					b.AddEdge(prev[pi], v)
+				}
+			}
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// RandomDAG returns an n-node DAG where each forward pair (u < v) is an
+// edge with probability p, then prunes in-degrees above maxIn by keeping a
+// random subset of maxIn predecessors.
+func RandomDAG(n int, p float64, maxIn int, seed int64) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	preds := make([][]dag.NodeID, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				preds[v] = append(preds[v], dag.NodeID(u))
+			}
+		}
+	}
+	b := dag.NewBuilder(fmt.Sprintf("random-%d", n))
+	b.AddNodes(n)
+	for v := 0; v < n; v++ {
+		ps := preds[v]
+		if len(ps) > maxIn {
+			rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+			ps = ps[:maxIn]
+		}
+		for _, u := range ps {
+			b.AddEdge(u, dag.NodeID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid2D returns the rows×cols dependency grid of a 2-point stencil:
+// node (i,j) depends on (i−1,j) and (i,j−1). Node (0,0) is the only
+// source; node (rows−1, cols−1) is the only sink.
+func Grid2D(rows, cols int) *dag.Graph {
+	b := dag.NewBuilder(fmt.Sprintf("grid-%dx%d", rows, cols))
+	ids := make([][]dag.NodeID, rows)
+	for i := range ids {
+		ids[i] = b.AddNodes(cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i > 0 {
+				b.AddEdge(ids[i-1][j], ids[i][j])
+			}
+			if j > 0 {
+				b.AddEdge(ids[i][j-1], ids[i][j])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Pyramid returns the 2-pyramid of the given height: level 0 has height+1
+// nodes, each higher level one fewer; node (l+1, i) depends on (l, i) and
+// (l, i+1). The apex is the unique sink. Pyramids are the classic
+// time-memory trade-off family for pebbling ([31] in the paper).
+func Pyramid(height int) *dag.Graph {
+	b := dag.NewBuilder(fmt.Sprintf("pyramid-%d", height))
+	prev := b.AddNodes(height + 1)
+	for l := 1; l <= height; l++ {
+		cur := b.AddNodes(height + 1 - l)
+		for i, v := range cur {
+			b.AddEdge(prev[i], v)
+			b.AddEdge(prev[i+1], v)
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}

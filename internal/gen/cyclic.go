@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// CyclicIDs locates the parts of a CyclicFanChain gadget.
+type CyclicIDs struct {
+	Pool  []dag.NodeID // the input pool, D nodes
+	Chain []dag.NodeID // the main chain
+}
+
+// CyclicFanChain builds the fair-comparison blowup gadget used for
+// Lemma 8: an input pool of D source nodes and a main chain where chain
+// node i (0-indexed) depends on the previous chain node and on the δ pool
+// nodes Pool[(i·stride + j) mod D] for j < δ.
+//
+// Δ_in = δ+1, so any valid pebbling needs r ≥ δ+2 — crucially independent
+// of D. A single processor with r ≥ D+2 parks the whole pool in fast
+// memory and pays zero I/O; a processor with r = (D+2)/k can keep only a
+// ρ = r−δ−2 pool slice resident and must stream in the remaining
+// ≈ δ·(1−ρ/D) inputs of every chain node, which for ρ ≈ D/k approaches
+// the (k−1)/k·g·(Δ_in−1) per-node I/O of the lemma.
+func CyclicFanChain(D, delta, chainLen, stride int) (*dag.Graph, *CyclicIDs) {
+	if D < 1 || delta < 1 || delta > D || chainLen < 1 || stride < 1 {
+		panic(fmt.Sprintf("gen: CyclicFanChain(D=%d, δ=%d, n=%d, stride=%d): invalid parameters",
+			D, delta, chainLen, stride))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("cyclic-D%d-δ%d-n%d-s%d", D, delta, chainLen, stride))
+	ids := &CyclicIDs{Pool: b.AddNodes(D)}
+	ids.Chain = b.AddNodes(chainLen)
+	for i, v := range ids.Chain {
+		if i > 0 {
+			b.AddEdge(ids.Chain[i-1], v)
+		}
+		for j := 0; j < delta; j++ {
+			b.AddEdge(ids.Pool[(i*stride+j)%D], v)
+		}
+	}
+	return b.MustBuild(), ids
+}
+
+// Subset returns the pool indices chain node i depends on.
+func (c *CyclicIDs) Subset(i, delta, stride int) []int {
+	D := len(c.Pool)
+	out := make([]int, delta)
+	for j := 0; j < delta; j++ {
+		out[j] = (i*stride + j) % D
+	}
+	return out
+}
+
+// MultiCyclicIDs locates the copies built by MultiCyclicFanChain.
+type MultiCyclicIDs struct {
+	Copies []CyclicIDs
+}
+
+// MultiCyclicFanChain builds c disjoint CyclicFanChain copies in one
+// graph — the non-monotonicity gadget for Lemma 9 with c = 2: in the fair
+// comparison with r₀ = 2(D+2), one processor serializes both copies with
+// zero I/O (cost ≈ n), two processors take one copy each (cost ≈ n/2),
+// and four processors have r₀/4 = (D+2)/2 < D+2, so both active
+// processors drown in per-node pool streaming and the optimum rises
+// above the two-processor cost.
+func MultiCyclicFanChain(c, D, delta, chainLen, stride int) (*dag.Graph, *MultiCyclicIDs) {
+	if c < 1 {
+		panic("gen: MultiCyclicFanChain: need c ≥ 1")
+	}
+	b := dag.NewBuilder(fmt.Sprintf("multicyclic-%dx(D%d-δ%d-n%d)", c, D, delta, chainLen))
+	ids := &MultiCyclicIDs{}
+	for copyIdx := 0; copyIdx < c; copyIdx++ {
+		one := CyclicIDs{Pool: b.AddNodes(D)}
+		one.Chain = b.AddNodes(chainLen)
+		for i, v := range one.Chain {
+			if i > 0 {
+				b.AddEdge(one.Chain[i-1], v)
+			}
+			for j := 0; j < delta; j++ {
+				b.AddEdge(one.Pool[(i*stride+j)%D], v)
+			}
+		}
+		ids.Copies = append(ids.Copies, one)
+	}
+	return b.MustBuild(), ids
+}

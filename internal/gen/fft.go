@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// FFT returns the n-point FFT butterfly DAG for n = 2^logN: logN+1 levels
+// of n nodes each; node i at level l+1 depends on nodes i and i XOR 2^l at
+// level l. Hong and Kung's lower bound states that pebbling it with fast
+// memory of size s requires Ω(n·log n / log s) I/O operations.
+func FFT(logN int) *dag.Graph {
+	n := 1 << logN
+	b := dag.NewBuilder(fmt.Sprintf("fft-%d", n))
+	prev := b.AddNodes(n)
+	for l := 0; l < logN; l++ {
+		cur := b.AddNodes(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(prev[i], cur[i])
+			b.AddEdge(prev[i^(1<<l)], cur[i])
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// MatMul returns the dependency DAG of the classical O(n³) dense
+// matrix-matrix multiplication C = A·B of two n×n matrices:
+//
+//   - 2n² source nodes for the entries of A and B,
+//   - n³ product nodes P[i][j][l] = A[i][l]·B[l][j] with in-degree 2,
+//   - per output entry C[i][j], a chain of n−1 accumulation nodes, each
+//     adding one product into the running sum (in-degree 2); the final
+//     accumulation node is the sink for that entry. For n = 1 the single
+//     product node is the sink itself.
+//
+// Kwasniewski et al. prove an I/O lower bound of 2n³/√s + n² for fast
+// memory of size s.
+func MatMul(n int) *dag.Graph {
+	g, _ := MatMulWithIDs(n)
+	return g
+}
+
+// MatMulIDs locates the parts of the MatMul DAG.
+type MatMulIDs struct {
+	N    int
+	A, B [][]dag.NodeID   // input entries
+	P    [][][]dag.NodeID // P[i][j][l]: product A[i][l]·B[l][j]
+	Acc  [][][]dag.NodeID // Acc[i][j][l]: running sum after adding P[i][j][l], l ≥ 1; Acc[i][j][n-1] is the sink C[i][j] (for n = 1 the product itself is the sink)
+}
+
+// MatMulWithIDs is MatMul exposing the node inventory, so strategies
+// (e.g. the tiled schedule in package proofs) can address individual
+// entries, products and partial sums.
+func MatMulWithIDs(n int) (*dag.Graph, *MatMulIDs) {
+	b := dag.NewBuilder(fmt.Sprintf("matmul-%d", n))
+	ids := &MatMulIDs{N: n}
+	ids.A = make([][]dag.NodeID, n)
+	ids.B = make([][]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids.A[i] = b.AddNodes(n)
+	}
+	for i := 0; i < n; i++ {
+		ids.B[i] = b.AddNodes(n)
+	}
+	ids.P = make([][][]dag.NodeID, n)
+	ids.Acc = make([][][]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids.P[i] = make([][]dag.NodeID, n)
+		ids.Acc[i] = make([][]dag.NodeID, n)
+		for j := 0; j < n; j++ {
+			ids.P[i][j] = make([]dag.NodeID, n)
+			ids.Acc[i][j] = make([]dag.NodeID, n)
+			var acc dag.NodeID = -1
+			for l := 0; l < n; l++ {
+				p := b.AddNode()
+				b.AddEdge(ids.A[i][l], p)
+				b.AddEdge(ids.B[l][j], p)
+				ids.P[i][j][l] = p
+				if acc == -1 {
+					acc = p
+					ids.Acc[i][j][l] = p
+					continue
+				}
+				s := b.AddNode()
+				b.AddEdge(acc, s)
+				b.AddEdge(p, s)
+				acc = s
+				ids.Acc[i][j][l] = s
+			}
+		}
+	}
+	return b.MustBuild(), ids
+}
+
+// MatMulStats reports the node composition of MatMul(n): sources, product
+// nodes, accumulation nodes, total.
+func MatMulStats(n int) (sources, products, sums, total int) {
+	sources = 2 * n * n
+	products = n * n * n
+	sums = n * n * (n - 1)
+	total = sources + products + sums
+	return
+}

@@ -1,0 +1,44 @@
+package gen
+
+import "repro/internal/dag"
+
+// Fig1IDs names the nodes of the Figure 1 example DAG.
+type Fig1IDs struct {
+	// Left subtree: V1,V2 → V3; U1,U2 → V4; V3,V4 → V5.
+	V1, V2, V3, U1, U2, V4, V5 dag.NodeID
+	// Right subtree (mirror): W1,W2 → X3; Y1,Y2 → X4; X3,X4 → V6.
+	W1, W2, X3, Y1, Y2, X4, V6 dag.NodeID
+	// Root: V5,V6 → V7.
+	V7 dag.NodeID
+}
+
+// Figure1 builds the running example DAG of Figure 1: two mirrored binary
+// subtrees of depth 2 (roots v5 and v6) joined at the sink v7; 15 nodes.
+func Figure1() (*dag.Graph, *Fig1IDs) {
+	b := dag.NewBuilder("figure1")
+	ids := &Fig1IDs{}
+	sub := func(names [7]string) (n1, n2, n3, n4, n5, n6, n7 dag.NodeID) {
+		n1 = b.AddLabeledNode(names[0])
+		n2 = b.AddLabeledNode(names[1])
+		n3 = b.AddLabeledNode(names[2])
+		b.AddEdge(n1, n3)
+		b.AddEdge(n2, n3)
+		n4 = b.AddLabeledNode(names[3])
+		n5 = b.AddLabeledNode(names[4])
+		n6 = b.AddLabeledNode(names[5])
+		b.AddEdge(n4, n6)
+		b.AddEdge(n5, n6)
+		n7 = b.AddLabeledNode(names[6])
+		b.AddEdge(n3, n7)
+		b.AddEdge(n6, n7)
+		return
+	}
+	ids.V1, ids.V2, ids.V3, ids.U1, ids.U2, ids.V4, ids.V5 =
+		sub([7]string{"v1", "v2", "v3", "u1", "u2", "v4", "v5"})
+	ids.W1, ids.W2, ids.X3, ids.Y1, ids.Y2, ids.X4, ids.V6 =
+		sub([7]string{"w1", "w2", "x3", "y1", "y2", "x4", "v6"})
+	ids.V7 = b.AddLabeledNode("v7")
+	b.AddEdge(ids.V5, ids.V7)
+	b.AddEdge(ids.V6, ids.V7)
+	return b.MustBuild(), ids
+}

@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// BroomIDs locates the parts of a SharedPrefixBroom gadget.
+type BroomIDs struct {
+	Shared [][]dag.NodeID // Shared[j] is the j-th expensive chain; its last node is the shared value x_j
+	A, B   []dag.NodeID   // the two consumer chains
+}
+
+// SharedPrefixBroom builds the I/O-jump-down gadget of Section 5
+// ("OPT_IO(1) = Θ(n) but OPT_IO(2) = 0"): t expensive shared values
+// x_1…x_t, each the last node of a fresh chain of length prefixLen, and
+// two consumer chains A and B of length t·stride each, where consumer
+// node j·stride of either chain additionally depends on x_j.
+//
+// With one processor and small r, each x_j is needed twice at distant
+// times; storing and reloading costs 2g per x_j (2t I/O operations
+// total), while recomputing costs prefixLen ≥ 2g+1 — so the optimal
+// single-processor pebbling performs Θ(t) I/O. With two processors, each
+// processor recomputes every x_j privately and the two consumer chains
+// proceed in lock-step compute moves, so the duplicated work hides inside
+// shared parallel steps and the optimal pebbling needs zero I/O.
+//
+// Δ_in = 2, so r ≥ 3 suffices.
+func SharedPrefixBroom(t, stride, prefixLen int) (*dag.Graph, *BroomIDs) {
+	if t < 1 || stride < 1 || prefixLen < 1 {
+		panic(fmt.Sprintf("gen: SharedPrefixBroom(%d,%d,%d): parameters must be ≥ 1", t, stride, prefixLen))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("broom-t%d-s%d-L%d", t, stride, prefixLen))
+	ids := &BroomIDs{}
+	for j := 0; j < t; j++ {
+		ids.Shared = append(ids.Shared, b.AddNewChain(prefixLen))
+	}
+	chainLen := t * stride
+	ids.A = b.AddNodes(chainLen)
+	ids.B = b.AddNodes(chainLen)
+	link := func(chain []dag.NodeID) {
+		for i := 1; i < len(chain); i++ {
+			b.AddEdge(chain[i-1], chain[i])
+		}
+		for j := 0; j < t; j++ {
+			x := ids.Shared[j][prefixLen-1]
+			b.AddEdge(x, chain[j*stride])
+		}
+	}
+	link(ids.A)
+	link(ids.B)
+	return b.MustBuild(), ids
+}
+
+// TrapGIDs locates the parts of the greedy g-factor trap.
+type TrapGIDs struct {
+	S []dag.NodeID // persistent group, d nodes (d ≥ 2)
+	E []dag.NodeID // per-block guard sources keeping w_i's fraction below 1
+	C []dag.NodeID // main chain c_1…c_m
+	T []dag.NodeID // bait nodes t_1…t_m
+	W []dag.NodeID // deferred consumer chain w_1…w_m
+}
+
+// GreedyTrapG builds a Lemma 4-style adversarial family on which any
+// most-red-predecessors greedy pays ≈ 2g extra per block while the
+// optimum pays none, giving an asymptotic cost ratio of ≈ (2g/3 + 1)/1
+// per the second bullet of Lemma 4.
+//
+// Structure per block i (groups S of size d ≥ 2 shared by all blocks):
+//
+//	c_i : preds {c_{i−1}} ∪ S           (in-degree d+1)
+//	t_i : preds {c_{i−1}, c_i} ∪ S      (in-degree d+2 — the bait)
+//	w_i : preds {w_{i−1}, t_i, e_i}     (e_i a fresh per-block source)
+//
+// After computing c_i, the bait t_i has d+2 red in-neighbors — strictly
+// more than c_{i+1}'s d+1 and w's ≤ 2 — so every count-greedy computes
+// all baits immediately but defers every w_i to the very end, forcing
+// each t_i through slow memory (2g I/O per block, or an even costlier
+// recompute cascade). The guard sources e_i (never attractive: zero red
+// in-neighbors) keep w_i's red-predecessor *fraction* strictly below 1,
+// so fraction-greedy falls into the same trap. The optimum interleaves
+// w_i right after t_i with zero I/O given r = d+5.
+func GreedyTrapG(d, m int) (*dag.Graph, *TrapGIDs) {
+	if d < 2 || m < 1 {
+		panic(fmt.Sprintf("gen: GreedyTrapG(d=%d, m=%d): need d ≥ 2, m ≥ 1", d, m))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("trapg-d%d-m%d", d, m))
+	ids := &TrapGIDs{}
+	for i := 0; i < d; i++ {
+		ids.S = append(ids.S, b.AddNode())
+	}
+	ids.C = b.AddNodes(m)
+	ids.T = b.AddNodes(m)
+	ids.W = b.AddNodes(m)
+	ids.E = b.AddNodes(m)
+	for i := 0; i < m; i++ {
+		for _, u := range ids.S {
+			b.AddEdge(u, ids.C[i])
+			b.AddEdge(u, ids.T[i])
+		}
+		if i > 0 {
+			b.AddEdge(ids.C[i-1], ids.C[i])
+			b.AddEdge(ids.C[i-1], ids.T[i])
+			b.AddEdge(ids.W[i-1], ids.W[i])
+		}
+		b.AddEdge(ids.C[i], ids.T[i])
+		b.AddEdge(ids.T[i], ids.W[i])
+		b.AddEdge(ids.E[i], ids.W[i])
+	}
+	return b.MustBuild(), ids
+}
+
+// TrapDeltaIDs locates the parts of the greedy Δ_in-factor trap.
+type TrapDeltaIDs struct {
+	G    []dag.NodeID   // magnet group, d nodes
+	M    []dag.NodeID   // magnet chain m_1…m_len (preds: m_{i-1} ∪ G)
+	F    [][]dag.NodeID // F[i]: block-i fresh input group, d nodes
+	Hub  []dag.NodeID   // hub_i: preds F[i]
+	Cons [][]dag.NodeID // Cons[i]: the q consumers of hub_i (chained pairwise)
+}
+
+// GreedyTrapDelta builds a Lemma 4-style adversarial family exercising
+// the first bullet (a ≈ Δ_in factor): blocks of a d-input hub with q
+// chained consumers, plus a "magnet" chain whose every node has d+1
+// potentially-red in-neighbors. A count-greedy processor at the moment it
+// finishes a consumer always sees the next magnet node with more red
+// in-neighbors (d+1) than the next consumer (2), so it alternates into
+// the magnet; with fast memory r = d+3 the magnet's group G and the
+// block's hub cannot be resident simultaneously, so each return to the
+// block forces the hub's d-node input group plus the hub to be recomputed
+// (or reloaded), costing ≈ d+1 per consumer versus the optimum's 1.
+//
+// Sized so both greedy and the optimum compute n ± O(1) nodes when the
+// trap fails to spring; the experiment measures the realized ratio.
+func GreedyTrapDelta(d, q, blocks int) (*dag.Graph, *TrapDeltaIDs) {
+	if d < 2 || q < 1 || blocks < 1 {
+		panic(fmt.Sprintf("gen: GreedyTrapDelta(d=%d, q=%d, blocks=%d): need d ≥ 2, q ≥ 1, blocks ≥ 1", d, q, blocks))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("trapdelta-d%d-q%d-b%d", d, q, blocks))
+	ids := &TrapDeltaIDs{}
+	for i := 0; i < d; i++ {
+		ids.G = append(ids.G, b.AddNode())
+	}
+	magnetLen := blocks * q
+	ids.M = b.AddNodes(magnetLen)
+	for i, v := range ids.M {
+		if i > 0 {
+			b.AddEdge(ids.M[i-1], v)
+		}
+		for _, u := range ids.G {
+			b.AddEdge(u, v)
+		}
+	}
+	for blk := 0; blk < blocks; blk++ {
+		f := b.AddNodes(d)
+		hub := b.AddNode()
+		for _, u := range f {
+			b.AddEdge(u, hub)
+		}
+		cons := b.AddNodes(q)
+		for i, c := range cons {
+			b.AddEdge(hub, c)
+			if i > 0 {
+				b.AddEdge(cons[i-1], c)
+			}
+		}
+		ids.F = append(ids.F, f)
+		ids.Hub = append(ids.Hub, hub)
+		ids.Cons = append(ids.Cons, cons)
+	}
+	return b.MustBuild(), ids
+}

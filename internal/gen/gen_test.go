@@ -1,0 +1,436 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestChain(t *testing.T) {
+	g := Chain(10)
+	if g.N() != 10 || g.M() != 9 || g.CriticalPathLength() != 10 {
+		t.Fatalf("chain: %v", g.ComputeStats())
+	}
+	if !g.IsInTree() {
+		t.Error("chain should be an in-tree")
+	}
+}
+
+func TestIndependentChains(t *testing.T) {
+	g := IndependentChains(4, 5)
+	if g.N() != 20 || g.M() != 16 {
+		t.Fatalf("chains: %v", g.ComputeStats())
+	}
+	if len(g.Sources()) != 4 || len(g.Sinks()) != 4 {
+		t.Fatal("chains: wrong source/sink count")
+	}
+	if g.CriticalPathLength() != 5 {
+		t.Fatal("chains: wrong depth")
+	}
+}
+
+func TestBinaryInTree(t *testing.T) {
+	g := BinaryInTree(3)
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("intree: %v", g.ComputeStats())
+	}
+	if !g.IsInTree() {
+		t.Error("not an in-tree")
+	}
+	if len(g.Sinks()) != 1 || len(g.Sources()) != 8 {
+		t.Error("wrong roots/leaves")
+	}
+	if g.MaxInDegree() != 2 {
+		t.Error("wrong Δin")
+	}
+	if d0 := BinaryInTree(0); d0.N() != 1 {
+		t.Error("depth-0 tree not a single node")
+	}
+}
+
+func TestBinaryOutTree(t *testing.T) {
+	g := BinaryOutTree(3)
+	if g.N() != 15 || len(g.Sources()) != 1 || len(g.Sinks()) != 8 {
+		t.Fatalf("outtree: %v", g.ComputeStats())
+	}
+	if g.MaxOutDegree() != 2 || g.MaxInDegree() != 1 {
+		t.Error("outtree degrees wrong")
+	}
+}
+
+func TestTwoLayerRandom(t *testing.T) {
+	g := TwoLayerRandom(10, 20, 0.3, 42)
+	if !g.IsTwoLayer() {
+		t.Fatal("not 2-layer")
+	}
+	if g.N() != 30 {
+		t.Fatal("wrong node count")
+	}
+	// Determinism.
+	g2 := TwoLayerRandom(10, 20, 0.3, 42)
+	if g.M() != g2.M() {
+		t.Fatal("not deterministic")
+	}
+	g3 := TwoLayerRandom(10, 20, 0.3, 43)
+	if g.M() == g3.M() && g.String() == g3.String() {
+		t.Log("different seeds produced identical graphs (possible but unlikely)")
+	}
+}
+
+func TestLayeredRandom(t *testing.T) {
+	g := LayeredRandom([]int{5, 8, 3}, 2, 7)
+	if g.N() != 16 {
+		t.Fatal("wrong node count")
+	}
+	if g.MaxInDegree() > 2 {
+		t.Fatal("in-degree exceeds bound")
+	}
+	if g.CriticalPathLength() != 3 {
+		t.Fatalf("depth = %d", g.CriticalPathLength())
+	}
+	// every non-first-layer node has exactly min(indeg, prevWidth) preds
+	lvl, _ := g.Levels()
+	for v := 0; v < g.N(); v++ {
+		if lvl[v] > 0 && g.InDegree(dag.NodeID(v)) != 2 {
+			t.Fatalf("node %d at level %d has in-degree %d", v, lvl[v], g.InDegree(dag.NodeID(v)))
+		}
+	}
+}
+
+func TestRandomDAG(t *testing.T) {
+	g := RandomDAG(50, 0.2, 3, 99)
+	if g.N() != 50 {
+		t.Fatal("wrong n")
+	}
+	if g.MaxInDegree() > 3 {
+		t.Fatalf("Δin = %d exceeds cap", g.MaxInDegree())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(4, 6)
+	if g.N() != 24 || g.M() != 3*6+4*5 {
+		t.Fatalf("grid: %v", g.ComputeStats())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatal("grid corners wrong")
+	}
+	if g.CriticalPathLength() != 4+6-1 {
+		t.Fatal("grid depth wrong")
+	}
+	if g.MaxInDegree() != 2 {
+		t.Fatal("grid Δin wrong")
+	}
+}
+
+func TestPyramid(t *testing.T) {
+	g := Pyramid(4)
+	if g.N() != 5+4+3+2+1 {
+		t.Fatalf("pyramid n = %d", g.N())
+	}
+	if len(g.Sinks()) != 1 || len(g.Sources()) != 5 {
+		t.Fatal("pyramid shape wrong")
+	}
+	if g.CriticalPathLength() != 5 {
+		t.Fatal("pyramid depth wrong")
+	}
+}
+
+func TestFFT(t *testing.T) {
+	g := FFT(3) // 8-point FFT
+	if g.N() != 8*4 {
+		t.Fatalf("fft n = %d, want 32", g.N())
+	}
+	if g.M() != 8*3*2 {
+		t.Fatalf("fft m = %d, want 48", g.M())
+	}
+	if g.MaxInDegree() != 2 || len(g.Sources()) != 8 || len(g.Sinks()) != 8 {
+		t.Fatal("fft shape wrong")
+	}
+	if g.CriticalPathLength() != 4 {
+		t.Fatal("fft depth wrong")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := MatMul(n)
+		src, prod, sums, total := MatMulStats(n)
+		if g.N() != total {
+			t.Fatalf("matmul(%d) n = %d, want %d", n, g.N(), total)
+		}
+		if len(g.Sources()) != src {
+			t.Fatalf("matmul(%d) sources = %d, want %d", n, len(g.Sources()), src)
+		}
+		if len(g.Sinks()) != n*n {
+			t.Fatalf("matmul(%d) sinks = %d, want %d", n, len(g.Sinks()), n*n)
+		}
+		if g.MaxInDegree() != 2 {
+			t.Fatal("matmul Δin wrong")
+		}
+		_ = prod
+		_ = sums
+	}
+	// 2x2: depth = source → product → sum = 3
+	if got := MatMul(2).CriticalPathLength(); got != 3 {
+		t.Fatalf("matmul(2) depth = %d", got)
+	}
+}
+
+func TestZipper(t *testing.T) {
+	g, ids := Zipper(3, 10, 0)
+	if g.N() != 3+3+10 {
+		t.Fatalf("zipper n = %d", g.N())
+	}
+	if g.MaxInDegree() != 4 { // d+1
+		t.Fatalf("zipper Δin = %d, want 4", g.MaxInDegree())
+	}
+	// v_1 (index 0) depends on S1 only; v_2 on S2 and v_1.
+	if g.InDegree(ids.Chain[0]) != 3 {
+		t.Fatal("first chain node in-degree wrong")
+	}
+	for _, u := range ids.S1 {
+		if !g.HasEdge(u, ids.Chain[0]) || g.HasEdge(u, ids.Chain[1]) {
+			t.Fatal("S1 wiring wrong")
+		}
+	}
+	for _, u := range ids.S2 {
+		if g.HasEdge(u, ids.Chain[0]) || !g.HasEdge(u, ids.Chain[1]) {
+			t.Fatal("S2 wiring wrong")
+		}
+	}
+	if len(ids.Tails) != 0 {
+		t.Fatal("unexpected tails")
+	}
+}
+
+func TestZipperWithTails(t *testing.T) {
+	d, n0, tl := 2, 6, 4
+	g, ids := Zipper(d, n0, tl)
+	if g.N() != 2*d*(tl+1)+n0 {
+		t.Fatalf("zipper-with-tails n = %d", g.N())
+	}
+	if len(ids.Tails) != 2*d {
+		t.Fatalf("tails = %d", len(ids.Tails))
+	}
+	// each input is fed by the last tail node
+	if !g.HasEdge(ids.Tails[0][tl-1], ids.S1[0]) {
+		t.Fatal("tail not wired to input")
+	}
+	// inputs are no longer sources
+	if g.IsSource(ids.S1[0]) {
+		t.Fatal("input with tail still a source")
+	}
+}
+
+func TestFanChain(t *testing.T) {
+	g, ids := FanChain(4, 8, 0)
+	if g.N() != 4+8 {
+		t.Fatalf("fanchain n = %d", g.N())
+	}
+	if g.MaxInDegree() != 5 {
+		t.Fatalf("fanchain Δin = %d", g.MaxInDegree())
+	}
+	// every chain node depends on every input
+	for _, v := range ids.Chain {
+		for _, u := range ids.S {
+			if !g.HasEdge(u, v) {
+				t.Fatal("fanchain wiring wrong")
+			}
+		}
+	}
+	if g.InDegree(ids.Chain[0]) != 4 || g.InDegree(ids.Chain[1]) != 5 {
+		t.Fatal("fanchain in-degrees wrong")
+	}
+}
+
+func TestMultiFanChain(t *testing.T) {
+	g, ids := MultiFanChain(2, 3, 5, 0)
+	if g.N() != 2*(3+5) {
+		t.Fatalf("multifan n = %d", g.N())
+	}
+	if len(ids.Copies) != 2 {
+		t.Fatal("copies wrong")
+	}
+	// the two copies are disconnected
+	c0sink := ids.Copies[0].Chain[4]
+	c1head := ids.Copies[1].Chain[0]
+	if !g.Descendants(ids.Copies[0].S[0]).Contains(int(c0sink)) {
+		t.Fatal("copy 0 not connected internally")
+	}
+	if g.Descendants(ids.Copies[0].S[0]).Contains(int(c1head)) {
+		t.Fatal("copies not disjoint")
+	}
+}
+
+func TestSharedPrefixBroom(t *testing.T) {
+	tt, stride, L := 3, 2, 5
+	g, ids := SharedPrefixBroom(tt, stride, L)
+	if g.N() != tt*L+2*tt*stride {
+		t.Fatalf("broom n = %d", g.N())
+	}
+	if g.MaxInDegree() != 2 {
+		t.Fatalf("broom Δin = %d", g.MaxInDegree())
+	}
+	// each shared value feeds one node in each consumer chain
+	for j := 0; j < tt; j++ {
+		x := ids.Shared[j][L-1]
+		if g.OutDegree(x) != 2 {
+			t.Fatalf("shared value %d out-degree %d", j, g.OutDegree(x))
+		}
+		if !g.HasEdge(x, ids.A[j*stride]) || !g.HasEdge(x, ids.B[j*stride]) {
+			t.Fatal("broom wiring wrong")
+		}
+	}
+}
+
+func TestGreedyTrapG(t *testing.T) {
+	d, m := 2, 5
+	g, ids := GreedyTrapG(d, m)
+	if g.N() != d+4*m {
+		t.Fatalf("trapg n = %d", g.N())
+	}
+	if g.MaxInDegree() != d+2 {
+		t.Fatalf("trapg Δin = %d, want %d", g.MaxInDegree(), d+2)
+	}
+	// bait t_i has in-degree d+2 for i ≥ 1, d+1 for i = 0
+	if g.InDegree(ids.T[1]) != d+2 || g.InDegree(ids.T[0]) != d+1 {
+		t.Fatal("bait in-degrees wrong")
+	}
+	// every w_i depends on its guard source e_i
+	for i := range ids.W {
+		if !g.HasEdge(ids.E[i], ids.W[i]) {
+			t.Fatal("guard wiring wrong")
+		}
+	}
+	// sinks are exactly {w_m}
+	if len(g.Sinks()) != 1 || g.Sinks()[0] != ids.W[m-1] {
+		t.Fatalf("sinks = %v", g.Sinks())
+	}
+}
+
+func TestGreedyTrapDelta(t *testing.T) {
+	d, q, blocks := 3, 4, 2
+	g, ids := GreedyTrapDelta(d, q, blocks)
+	wantN := d + blocks*q + blocks*(d+1+q)
+	if g.N() != wantN {
+		t.Fatalf("trapdelta n = %d, want %d", g.N(), wantN)
+	}
+	if g.MaxInDegree() != d+1 {
+		t.Fatalf("trapdelta Δin = %d", g.MaxInDegree())
+	}
+	if len(ids.Hub) != blocks || len(ids.Cons[0]) != q {
+		t.Fatal("trapdelta structure wrong")
+	}
+	// hub depends on its whole fresh group
+	for _, u := range ids.F[0] {
+		if !g.HasEdge(u, ids.Hub[0]) {
+			t.Fatal("hub wiring wrong")
+		}
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { Zipper(0, 5, 0) },
+		func() { FanChain(1, 0, 0) },
+		func() { SharedPrefixBroom(0, 1, 1) },
+		func() { GreedyTrapG(1, 5) },
+		func() { GreedyTrapDelta(2, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLU(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		g := LU(n)
+		// n² inputs + Σ_k (n−1−k multipliers + (n−1−k)² updates).
+		want := n * n
+		for k := 0; k < n; k++ {
+			m := n - 1 - k
+			want += m + m*m
+		}
+		if g.N() != want {
+			t.Errorf("LU(%d): n = %d, want %d", n, g.N(), want)
+		}
+		if n > 1 && g.MaxInDegree() != 3 {
+			t.Errorf("LU(%d): Δin = %d, want 3", n, g.MaxInDegree())
+		}
+	}
+	// LU is deep: the critical path grows linearly with n (each
+	// elimination step depends on the previous one's pivot column).
+	if LU(4).CriticalPathLength() <= LU(2).CriticalPathLength() {
+		t.Error("LU depth does not grow")
+	}
+}
+
+func TestWavefront(t *testing.T) {
+	g := Wavefront(5, 4)
+	if g.N() != 20 {
+		t.Fatalf("wavefront n = %d", g.N())
+	}
+	if g.MaxInDegree() != 3 {
+		t.Fatalf("wavefront Δin = %d", g.MaxInDegree())
+	}
+	if g.CriticalPathLength() != 4 {
+		t.Fatalf("wavefront depth = %d", g.CriticalPathLength())
+	}
+	// Interior cell has 3 preds, border cells 2.
+	lvl := g.LevelSets()
+	if g.InDegree(lvl[1][0]) != 2 || g.InDegree(lvl[1][2]) != 3 {
+		t.Error("wavefront border clamping wrong")
+	}
+}
+
+func TestReductionTrees(t *testing.T) {
+	f, depth := 3, 2
+	g := ReductionTrees(f, depth)
+	want := f*7 + f // trees + combining chain
+	if g.N() != want {
+		t.Fatalf("reduce n = %d, want %d", g.N(), want)
+	}
+	if len(g.Sinks()) != 1 {
+		t.Fatalf("reduce sinks = %d", len(g.Sinks()))
+	}
+	if g.MaxInDegree() != 2 {
+		t.Fatalf("reduce Δin = %d", g.MaxInDegree())
+	}
+}
+
+func TestMatMulWithIDsInventory(t *testing.T) {
+	n := 3
+	g, ids := MatMulWithIDs(n)
+	// Every product has exactly the A/B entries as preds.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for l := 0; l < n; l++ {
+				p := ids.P[i][j][l]
+				if !g.HasEdge(ids.A[i][l], p) || !g.HasEdge(ids.B[l][j], p) {
+					t.Fatalf("P[%d][%d][%d] wiring wrong", i, j, l)
+				}
+			}
+			// The final accumulator is a sink.
+			if !g.IsSink(ids.Acc[i][j][n-1]) {
+				t.Fatalf("Acc[%d][%d][last] not a sink", i, j)
+			}
+			// Accumulators chain.
+			for l := 2; l < n; l++ {
+				if !g.HasEdge(ids.Acc[i][j][l-1], ids.Acc[i][j][l]) {
+					t.Fatalf("Acc chain broken at (%d,%d,%d)", i, j, l)
+				}
+			}
+		}
+	}
+}

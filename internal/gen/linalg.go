@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// LU returns the dependency DAG of dense LU factorization without
+// pivoting on an n×n matrix, at the granularity of individual updates:
+//
+//   - n² source nodes for the input entries A[i][j];
+//   - for each elimination step k < min(i, j, …): the multiplier
+//     L[i][k] = A'[i][k] / A'[k][k] (in-degree 2) and the update
+//     A_{k+1}[i][j] = A_k[i][j] − L[i][k]·A_k[k][j] (in-degree 3);
+//
+// The trailing versions of each entry form the output sinks. The DAG has
+// Θ(n³) nodes and the long dependency chains characteristic of the
+// right-looking algorithm, giving a workload with far less level
+// parallelism than MatMul.
+func LU(n int) *dag.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("gen: LU(%d): need n ≥ 1", n))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("lu-%d", n))
+	// cur[i][j] is the current version of entry (i, j).
+	cur := make([][]dag.NodeID, n)
+	for i := range cur {
+		cur[i] = b.AddNodes(n)
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			// L[i][k] from A'[i][k] and the pivot A'[k][k].
+			l := b.AddNode()
+			b.AddEdge(cur[i][k], l)
+			b.AddEdge(cur[k][k], l)
+			cur[i][k] = l
+			for j := k + 1; j < n; j++ {
+				u := b.AddNode()
+				b.AddEdge(cur[i][j], u) // previous value
+				b.AddEdge(l, u)         // multiplier
+				b.AddEdge(cur[k][j], u) // pivot row entry
+				cur[i][j] = u
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Wavefront returns the dependency DAG of a length-steps sweep over a
+// width-wide 3-point stencil: cell (t, i) depends on (t−1, i−1), (t−1, i)
+// and (t−1, i+1) (clamped at the borders) — the classic time-skewing /
+// trapezoidal-tiling workload of stencil computations.
+func Wavefront(width, steps int) *dag.Graph {
+	if width < 1 || steps < 1 {
+		panic(fmt.Sprintf("gen: Wavefront(%d,%d): need ≥ 1", width, steps))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("wavefront-%dx%d", width, steps))
+	prev := b.AddNodes(width)
+	for t := 1; t < steps; t++ {
+		cur := b.AddNodes(width)
+		for i := 0; i < width; i++ {
+			for _, j := range []int{i - 1, i, i + 1} {
+				if j >= 0 && j < width {
+					b.AddEdge(prev[j], cur[i])
+				}
+			}
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// ReductionTrees returns f independent complete binary in-trees of the
+// given depth rooted into a final combining chain — the shape of a
+// multi-way parallel reduction followed by a sequential merge.
+func ReductionTrees(f, depth int) *dag.Graph {
+	if f < 1 || depth < 0 {
+		panic(fmt.Sprintf("gen: ReductionTrees(%d,%d): invalid", f, depth))
+	}
+	trees := make([]*dag.Graph, f)
+	for i := range trees {
+		trees[i] = BinaryInTree(depth)
+	}
+	u, off := dag.Union(fmt.Sprintf("reduce-%dx%d", f, depth), trees...)
+	b := dag.NewBuilder(u.Name())
+	b.AddNodes(u.N())
+	for v := 0; v < u.N(); v++ {
+		for _, w := range u.Succ(dag.NodeID(v)) {
+			b.AddEdge(dag.NodeID(v), w)
+		}
+	}
+	// Roots (each tree's unique sink) feed a combining chain.
+	var prev dag.NodeID = -1
+	for i := 0; i < f; i++ {
+		root := off[i] + trees[i].Sinks()[0]
+		c := b.AddNode()
+		b.AddEdge(root, c)
+		if prev >= 0 {
+			b.AddEdge(prev, c)
+		}
+		prev = c
+	}
+	return b.MustBuild()
+}

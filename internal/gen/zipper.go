@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// ZipperIDs locates the parts of a Zipper gadget inside the built graph.
+type ZipperIDs struct {
+	S1, S2 []dag.NodeID   // the two input groups, d nodes each
+	Chain  []dag.NodeID   // the main chain v_1 … v_n0
+	Tails  [][]dag.NodeID // Tails[i] is the anti-recompute chain feeding input i (S1 then S2); nil if tailLen == 0
+}
+
+// Zipper builds the zipper gadget of Figure 2: two input groups S1, S2 of
+// d nodes each and a main chain of chainLen nodes. Chain node v_i depends
+// on v_{i−1} and on every node of S1 when i is odd, S2 when i is even
+// (1-indexed). With tailLen > 0, each input node u additionally sits at
+// the end of a fresh chain of tailLen nodes, making recomputation of u
+// cost tailLen+1 — choosing tailLen = 2g renders recomputation suboptimal
+// versus one store + one load (cost ≤ 2g), as in the paper.
+//
+// Δ_in is d+1 (chain nodes beyond the first), so any valid pebbling needs
+// r ≥ d+2.
+func Zipper(d, chainLen, tailLen int) (*dag.Graph, *ZipperIDs) {
+	if d < 1 || chainLen < 1 {
+		panic(fmt.Sprintf("gen: Zipper(d=%d, chainLen=%d): parameters must be ≥ 1", d, chainLen))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("zipper-d%d-n%d-t%d", d, chainLen, tailLen))
+	ids := &ZipperIDs{}
+	addInput := func() dag.NodeID {
+		if tailLen == 0 {
+			return b.AddNode()
+		}
+		tail := b.AddNewChain(tailLen)
+		u := b.AddNode()
+		b.AddEdge(tail[len(tail)-1], u)
+		ids.Tails = append(ids.Tails, tail)
+		return u
+	}
+	for i := 0; i < d; i++ {
+		ids.S1 = append(ids.S1, addInput())
+	}
+	for i := 0; i < d; i++ {
+		ids.S2 = append(ids.S2, addInput())
+	}
+	ids.Chain = b.AddNodes(chainLen)
+	for i, v := range ids.Chain {
+		if i > 0 {
+			b.AddEdge(ids.Chain[i-1], v)
+		}
+		group := ids.S1
+		if (i+1)%2 == 0 {
+			group = ids.S2
+		}
+		for _, u := range group {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild(), ids
+}
+
+// FanChainIDs locates the parts of a FanChain gadget.
+type FanChainIDs struct {
+	S     []dag.NodeID   // the shared input group, d nodes
+	Chain []dag.NodeID   // the main chain
+	Tails [][]dag.NodeID // anti-recompute tails (nil if tailLen == 0)
+}
+
+// FanChain builds the single-group variant of the zipper used for the
+// fair-comparison blowup (Lemma 8): one input group S of d nodes feeding
+// every node of a chain of chainLen nodes (chain node i also depends on
+// chain node i−1). Δ_in = d+1; a single processor with r = d+2 pebbles it
+// with zero I/O by parking S in fast memory, whereas processors with
+// r < d+2 must stream most of S back in for every chain node.
+func FanChain(d, chainLen, tailLen int) (*dag.Graph, *FanChainIDs) {
+	if d < 1 || chainLen < 1 {
+		panic(fmt.Sprintf("gen: FanChain(d=%d, chainLen=%d): parameters must be ≥ 1", d, chainLen))
+	}
+	b := dag.NewBuilder(fmt.Sprintf("fanchain-d%d-n%d-t%d", d, chainLen, tailLen))
+	ids := &FanChainIDs{}
+	for i := 0; i < d; i++ {
+		if tailLen == 0 {
+			ids.S = append(ids.S, b.AddNode())
+			continue
+		}
+		tail := b.AddNewChain(tailLen)
+		u := b.AddNode()
+		b.AddEdge(tail[len(tail)-1], u)
+		ids.Tails = append(ids.Tails, tail)
+		ids.S = append(ids.S, u)
+	}
+	ids.Chain = b.AddNodes(chainLen)
+	for i, v := range ids.Chain {
+		if i > 0 {
+			b.AddEdge(ids.Chain[i-1], v)
+		}
+		for _, u := range ids.S {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild(), ids
+}
+
+// MultiFanChainIDs locates the independent FanChain copies built by
+// MultiFanChain.
+type MultiFanChainIDs struct {
+	Copies []FanChainIDs
+}
+
+// MultiFanChain builds c independent FanChain(d, chainLen, tailLen)
+// copies in one graph. With c = 2 this is the non-monotonicity gadget of
+// Lemma 9: a single processor with r0 = d+2 serializes both chains with
+// zero I/O; two processors with r0/2 each... cannot hold a group, but two
+// processors with r = d+2 (or one group each in the fair split of a
+// doubled r0) pebble the two chains in parallel at half the cost; four
+// processors with r0/4 each drown in per-node I/O.
+func MultiFanChain(c, d, chainLen, tailLen int) (*dag.Graph, *MultiFanChainIDs) {
+	b := dag.NewBuilder(fmt.Sprintf("multifan-%dx(d%d-n%d)", c, d, chainLen))
+	ids := &MultiFanChainIDs{}
+	for copyIdx := 0; copyIdx < c; copyIdx++ {
+		fc := FanChainIDs{}
+		for i := 0; i < d; i++ {
+			if tailLen == 0 {
+				fc.S = append(fc.S, b.AddNode())
+				continue
+			}
+			tail := b.AddNewChain(tailLen)
+			u := b.AddNode()
+			b.AddEdge(tail[len(tail)-1], u)
+			fc.Tails = append(fc.Tails, tail)
+			fc.S = append(fc.S, u)
+		}
+		fc.Chain = b.AddNodes(chainLen)
+		for i, v := range fc.Chain {
+			if i > 0 {
+				b.AddEdge(fc.Chain[i-1], v)
+			}
+			for _, u := range fc.S {
+				b.AddEdge(u, v)
+			}
+		}
+		ids.Copies = append(ids.Copies, fc)
+	}
+	return b.MustBuild(), ids
+}

@@ -1,0 +1,229 @@
+// Package hardness implements the paper's reduction machinery:
+//
+//   - BuildCliqueReduction constructs, from an undirected graph G′ and a
+//     clique size q, a DAG and a pebble budget r such that a zero-I/O
+//     one-shot SPP pebbling exists if and only if G′ contains a q-clique —
+//     the computational core of Theorem 2 (Figures 3–4). The construction
+//     follows the paper's budget mechanics (towers whose level-size
+//     changes force and cap progress) in a wall/ballast instantiation;
+//     exact gadget sizes are ours and are validated instance-by-instance
+//     against brute force in the experiments and tests.
+//   - Brute-force MaxClique / MinVertexCover oracles for small graphs.
+//   - A corpus of small undirected graphs for empirical verification.
+package hardness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// UGraph is a simple undirected graph on vertices 0..N-1.
+type UGraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// NewUGraph builds an undirected graph, normalizing and deduplicating
+// edges; self-loops are rejected.
+func NewUGraph(n int, edges [][2]int) (*UGraph, error) {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("hardness: self-loop at %d", u)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("hardness: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !seen[[2]int{u, v}] {
+			seen[[2]int{u, v}] = true
+			out = append(out, [2]int{u, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return &UGraph{N: n, Edges: out}, nil
+}
+
+// MustUGraph is NewUGraph but panics on error.
+func MustUGraph(n int, edges [][2]int) *UGraph {
+	g, err := NewUGraph(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// M returns the number of edges.
+func (g *UGraph) M() int { return len(g.Edges) }
+
+// Adjacent reports whether u and v share an edge.
+func (g *UGraph) Adjacent(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Complement returns the complement graph.
+func (g *UGraph) Complement() *UGraph {
+	var edges [][2]int
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if !g.Adjacent(u, v) {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return MustUGraph(g.N, edges)
+}
+
+// HasClique reports (by brute force) whether the graph contains a clique
+// of size q. Intended for N ≤ ~16.
+func (g *UGraph) HasClique(q int) bool {
+	if q <= 1 {
+		return g.N >= q
+	}
+	adj := g.adjMasks()
+	var rec func(start int, chosen []int) bool
+	rec = func(start int, chosen []int) bool {
+		if len(chosen) == q {
+			return true
+		}
+		for v := start; v < g.N; v++ {
+			ok := true
+			for _, u := range chosen {
+				if adj[u]&(1<<uint(v)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok && rec(v+1, append(chosen, v)) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, nil)
+}
+
+// MaxClique returns the maximum clique size by brute force (N ≤ ~16).
+func (g *UGraph) MaxClique() int {
+	best := 0
+	for q := g.N; q >= 1; q-- {
+		if g.HasClique(q) {
+			best = q
+			break
+		}
+	}
+	return best
+}
+
+// MinVertexCover returns the minimum vertex cover size by brute force.
+func (g *UGraph) MinVertexCover() int {
+	for c := 0; c <= g.N; c++ {
+		if g.hasCover(c) {
+			return c
+		}
+	}
+	return g.N
+}
+
+func (g *UGraph) hasCover(c int) bool {
+	var rec func(start int, left int, remaining [][2]int) bool
+	rec = func(start, left int, remaining [][2]int) bool {
+		if len(remaining) == 0 {
+			return true
+		}
+		if left == 0 {
+			return false
+		}
+		// Branch on the first uncovered edge: one endpoint must be in.
+		e := remaining[0]
+		for _, pick := range []int{e[0], e[1]} {
+			var rest [][2]int
+			for _, f := range remaining {
+				if f[0] != pick && f[1] != pick {
+					rest = append(rest, f)
+				}
+			}
+			if rec(start, left-1, rest) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, c, g.Edges)
+}
+
+func (g *UGraph) adjMasks() []uint64 {
+	adj := make([]uint64, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] |= 1 << uint(e[1])
+		adj[e[1]] |= 1 << uint(e[0])
+	}
+	return adj
+}
+
+// Corpus returns a deterministic set of small named graphs used to verify
+// the reductions: fixed classics plus random graphs.
+func Corpus() map[string]*UGraph {
+	c := map[string]*UGraph{
+		"triangle":      MustUGraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}),
+		"path4":         MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		"c4":            MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		"k4":            MustUGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+		"k4-minus-edge": MustUGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}}),
+		"c5":            MustUGraph(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}),
+		"bull":          MustUGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}}),
+		"k23":           MustUGraph(5, [][2]int{{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}}),
+		"prism":         MustUGraph(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {0, 3}, {1, 4}, {2, 5}}),
+		"k33":           MustUGraph(6, [][2]int{{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}}),
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(2)
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.45 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		c[fmt.Sprintf("rand%d", seed)] = MustUGraph(n, edges)
+	}
+	return c
+}
+
+// CubicCorpus returns small 3-regular graphs (the APX-hard vertex-cover
+// class used by Lemma 11).
+func CubicCorpus() map[string]*UGraph {
+	return map[string]*UGraph{
+		"k4": MustUGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}),
+		"k33": MustUGraph(6, [][2]int{
+			{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}}),
+		"prism": MustUGraph(6, [][2]int{
+			{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {0, 3}, {1, 4}, {2, 5}}),
+		"cube": MustUGraph(8, [][2]int{
+			{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4},
+			{0, 4}, {1, 5}, {2, 6}, {3, 7}}),
+		"moebius-kantor-8": MustUGraph(8, [][2]int{
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0},
+			{0, 3}, {1, 6}, {2, 5}, {4, 7}}),
+	}
+}

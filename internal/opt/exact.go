@@ -1,0 +1,421 @@
+// Package opt contains exact solvers for small pebbling instances:
+//
+//   - Exact: uniform-cost search over the configuration space, returning
+//     the true optimum cost OPT of an MPP (or SPP) instance. Exponential;
+//     intended for instances of ≤ ~12 nodes, where it serves as ground
+//     truth for the heuristics and the gadget experiments.
+//   - ZeroIO: a specialized decision procedure for "does a one-shot SPP
+//     pebbling of I/O cost 0 exist?" — the question made NP-hard by
+//     Theorem 2. It exploits that cost-0 one-shot pebblings are fully
+//     described by a compute permutation with forced deletions.
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// ErrBudget is wrapped in errors returned when a search exceeds its state
+// budget.
+var ErrBudget = fmt.Errorf("opt: state budget exhausted")
+
+// Result is the outcome of an exact search.
+type Result struct {
+	Cost   int64 // optimal total cost
+	States int   // states expanded
+
+	// Strategy is the reconstructed optimal move sequence (present when
+	// the search was run via ExactWithStrategy; nil from Exact).
+	Strategy *pebble.Strategy
+}
+
+// Exact computes the exact optimum pebbling cost of the instance by A*
+// search over configurations (processor shades are canonicalized, so
+// symmetric configurations collapse). The heuristic is the admissible
+// compute floor ⌈uncomputed/k⌉·computeCost — every remaining node costs
+// at least one k-wide compute move. maxStates bounds the number of
+// distinct states visited; exceeding it returns ErrBudget.
+//
+// Exact handles every Params combination: multiprocessor parallel moves,
+// zero compute costs (classic SPP, where Dijkstra's non-negative-edge
+// requirement still holds), and one-shot mode (the computed set joins the
+// search state).
+func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(in, maxStates, false)
+}
+
+// ExactWithStrategy is Exact additionally reconstructing one optimal
+// strategy (via parent pointers); the result replays to exactly the
+// optimal cost. Costs slightly more memory per state.
+func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(in, maxStates, true)
+}
+
+func exact(in *pebble.Instance, maxStates int, witness bool) (*Result, error) {
+	n := in.Graph.N()
+	if n == 0 {
+		res := &Result{Cost: 0}
+		if witness {
+			res.Strategy = &pebble.Strategy{}
+		}
+		return res, nil
+	}
+	if n > 62 {
+		return nil, fmt.Errorf("opt: Exact supports at most 62 nodes, got %d", n)
+	}
+	s := &solver{in: in, n: n, maxStates: maxStates}
+	if witness {
+		s.parent = map[string]edge{}
+	}
+	return s.run()
+}
+
+// state packs a configuration (and in one-shot mode, the computed set)
+// into comparable bitmasks. With n ≤ 62 each set fits one uint64.
+type state struct {
+	red      []uint64 // canonical order (sorted) when shades are symmetric
+	blue     uint64
+	computed uint64 // used only in one-shot mode
+}
+
+func (st state) key() string {
+	buf := make([]byte, 0, 8*(len(st.red)+2))
+	for _, r := range st.red {
+		buf = appendU64(buf, r)
+	}
+	buf = appendU64(buf, st.blue)
+	buf = appendU64(buf, st.computed)
+	return string(buf)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+type pqItem struct {
+	st   state
+	cost int64 // g-cost (cost so far)
+	f    int64 // g + admissible heuristic
+	idx  int
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i]; p[i].idx = i; p[j].idx = j }
+func (p *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return it
+}
+
+// edge records how a state was first reached at its best cost, for
+// witness reconstruction.
+type edge struct {
+	from string
+	move pebble.Move
+}
+
+type solver struct {
+	in        *pebble.Instance
+	n         int
+	maxStates int
+
+	predMask []uint64 // predecessor bitmask per node
+	succMask []uint64
+	sinkMask uint64
+
+	dist   map[string]int64
+	parent map[string]edge // nil unless witness reconstruction is on
+	q      pq
+
+	cur state // state being expanded (for parent bookkeeping)
+}
+
+func (s *solver) run() (*Result, error) {
+	g := s.in.Graph
+	s.predMask = make([]uint64, s.n)
+	s.succMask = make([]uint64, s.n)
+	for v := 0; v < s.n; v++ {
+		for _, u := range g.Pred(dag.NodeID(v)) {
+			s.predMask[v] |= 1 << uint(u)
+		}
+		for _, w := range g.Succ(dag.NodeID(v)) {
+			s.succMask[v] |= 1 << uint(w)
+		}
+	}
+	for _, v := range g.Sinks() {
+		s.sinkMask |= 1 << uint(v)
+	}
+
+	start := state{red: make([]uint64, s.in.K)}
+	s.dist = map[string]int64{start.key(): 0}
+	heap.Push(&s.q, &pqItem{st: start, cost: 0, f: s.heuristic(start)})
+	expanded := 0
+	for s.q.Len() > 0 {
+		it := heap.Pop(&s.q).(*pqItem)
+		if d, ok := s.dist[it.st.key()]; ok && it.cost > d {
+			continue // stale queue entry
+		}
+		if s.isGoal(it.st) {
+			res := &Result{Cost: it.cost, States: expanded}
+			if s.parent != nil {
+				strat, err := s.reconstruct(it.st)
+				if err != nil {
+					return nil, err
+				}
+				res.Strategy = strat
+			}
+			return res, nil
+		}
+		expanded++
+		if expanded > s.maxStates {
+			return nil, fmt.Errorf("%w after %d states", ErrBudget, expanded)
+		}
+		s.cur = it.st
+		s.expand(it.st, it.cost)
+	}
+	return nil, fmt.Errorf("opt: no pebbling found (unreachable for valid instances)")
+}
+
+// reconstruct walks parent pointers from the goal back to the initial
+// state and returns the move sequence.
+func (s *solver) reconstruct(goal state) (*pebble.Strategy, error) {
+	startKey := state{red: make([]uint64, s.in.K)}.key()
+	var rev []pebble.Move
+	key := goal.key()
+	for key != startKey {
+		e, ok := s.parent[key]
+		if !ok {
+			return nil, fmt.Errorf("opt: witness chain broken (internal error)")
+		}
+		rev = append(rev, e.move)
+		key = e.from
+		if len(rev) > s.maxStates {
+			return nil, fmt.Errorf("opt: witness chain too long (internal error)")
+		}
+	}
+	st := &pebble.Strategy{}
+	for i := len(rev) - 1; i >= 0; i-- {
+		st.Append(rev[i])
+	}
+	return st, nil
+}
+
+// heuristic returns an admissible lower bound on the cost to go: every
+// node never yet computed must appear in some compute move, and one move
+// computes at most k of them. For classic SPP (free computes) it is 0.
+// It relies on st.computed, which is maintained in every mode.
+func (s *solver) heuristic(st state) int64 {
+	if s.in.ComputeCost == 0 {
+		return 0
+	}
+	uncomputed := s.n - popcount(st.computed)
+	if uncomputed <= 0 {
+		return 0
+	}
+	k := s.in.K
+	return int64((uncomputed+k-1)/k) * int64(s.in.ComputeCost)
+}
+
+func (s *solver) isGoal(st state) bool {
+	pebbled := st.blue
+	for _, r := range st.red {
+		pebbled |= r
+	}
+	return s.sinkMask&^pebbled == 0
+}
+
+func (s *solver) relax(st state, cost int64, mv pebble.Move) {
+	if s.parent == nil {
+		// Shade symmetry collapse is only sound when no move sequence
+		// must be reconstructed (relabeling shades would desynchronize
+		// the recorded moves' processor indices).
+		st = canonical(st)
+	}
+	k := st.key()
+	if d, ok := s.dist[k]; ok && d <= cost {
+		return
+	}
+	s.dist[k] = cost
+	if s.parent != nil {
+		s.parent[k] = edge{from: s.cur.key(), move: mv}
+	}
+	heap.Push(&s.q, &pqItem{st: st, cost: cost, f: cost + s.heuristic(st)})
+}
+
+// canonical sorts the red sets so permuting processor shades collapses to
+// one state (all processors have identical r).
+func canonical(st state) state {
+	red := make([]uint64, len(st.red))
+	copy(red, st.red)
+	// insertion sort; k is tiny
+	for i := 1; i < len(red); i++ {
+		for j := i; j > 0 && red[j] < red[j-1]; j-- {
+			red[j], red[j-1] = red[j-1], red[j]
+		}
+	}
+	return state{red: red, blue: st.blue, computed: st.computed}
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// expand generates every successor state. Per-processor option lists are
+// combined into parallel moves; since one parallel move costs the same as
+// a single action of the same kind, only maximal combinations need not be
+// enumerated — we enumerate all non-empty subsets of per-processor
+// choices implicitly through a product construction, but prune by noting
+// that adding an extra legal action to a move never hurts is NOT valid in
+// general (it occupies memory), so the full product is explored.
+func (s *solver) expand(st state, cost int64) {
+	k := s.in.K
+	gCost := int64(s.in.G)
+	cCost := int64(s.in.ComputeCost)
+
+	// Per-processor candidate actions for each move kind. -1 encodes
+	// "idle" (processor not in the shaded selection).
+	computeOpts := make([][]int, k)
+	readOpts := make([][]int, k)
+	writeOpts := make([][]int, k)
+	for p := 0; p < k; p++ {
+		for v := 0; v < s.n; v++ {
+			bit := uint64(1) << uint(v)
+			// Compute v on p: all preds red on p, v not red on p, memory ok.
+			if s.predMask[v]&^st.red[p] == 0 && st.red[p]&bit == 0 {
+				if !s.in.OneShot || st.computed&bit == 0 {
+					computeOpts[p] = append(computeOpts[p], v)
+				}
+			}
+			// Read v into p: v blue, not already red on p.
+			if st.blue&bit != 0 && st.red[p]&bit == 0 {
+				readOpts[p] = append(readOpts[p], v)
+			}
+			// Write v from p: v red on p, not already blue.
+			if st.red[p]&bit != 0 && st.blue&bit == 0 {
+				writeOpts[p] = append(writeOpts[p], v)
+			}
+		}
+	}
+
+	// Delete edges (cost 0): remove one red pebble. Blue deletions are
+	// never beneficial (slow memory is unlimited), so they are skipped.
+	for p := 0; p < k; p++ {
+		reds := st.red[p]
+		for reds != 0 {
+			v := trailingZeros(reds)
+			reds &= reds - 1
+			ns := cloneState(st)
+			ns.red[p] &^= 1 << uint(v)
+			s.relax(ns, cost, pebble.Delete(pebble.At(p, dag.NodeID(v))))
+		}
+	}
+
+	// Parallel compute moves.
+	s.product(computeOpts, func(choice []int) {
+		ns := cloneState(st)
+		ok := true
+		var seen uint64
+		for p, v := range choice {
+			if v < 0 {
+				continue
+			}
+			bit := uint64(1) << uint(v)
+			if s.in.OneShot && seen&bit != 0 {
+				ok = false // two processors computing v at once would double-apply R3
+			}
+			seen |= bit
+			ns.red[p] |= bit
+			ns.computed |= bit
+			if popcount(ns.red[p]) > s.in.R {
+				ok = false
+			}
+		}
+		if ok {
+			s.relax(ns, cost+cCost, moveOf(pebble.OpCompute, choice))
+		}
+	})
+	// Parallel read moves.
+	s.product(readOpts, func(choice []int) {
+		ns := cloneState(st)
+		ok := true
+		for p, v := range choice {
+			if v < 0 {
+				continue
+			}
+			ns.red[p] |= 1 << uint(v)
+			if popcount(ns.red[p]) > s.in.R {
+				ok = false
+			}
+		}
+		if ok {
+			s.relax(ns, cost+gCost, moveOf(pebble.OpRead, choice))
+		}
+	})
+	// Parallel write moves.
+	s.product(writeOpts, func(choice []int) {
+		ns := cloneState(st)
+		for p, v := range choice {
+			if v < 0 {
+				continue
+			}
+			_ = p
+			ns.blue |= 1 << uint(v)
+		}
+		s.relax(ns, cost+gCost, moveOf(pebble.OpWrite, choice))
+	})
+}
+
+// moveOf converts a per-processor choice vector (-1 = idle) into a Move.
+func moveOf(kind pebble.OpKind, choice []int) pebble.Move {
+	m := pebble.Move{Kind: kind}
+	for p, v := range choice {
+		if v >= 0 {
+			m.Actions = append(m.Actions, pebble.At(p, dag.NodeID(v)))
+		}
+	}
+	return m
+}
+
+func cloneState(st state) state {
+	red := make([]uint64, len(st.red))
+	copy(red, st.red)
+	return state{red: red, blue: st.blue, computed: st.computed}
+}
+
+// product enumerates every non-empty combination of per-processor
+// choices (-1 = idle) and invokes fn with each. One-shot duplicates of
+// the same node on different processors in a single compute move are
+// allowed by the rules and harmless here.
+func (s *solver) product(opts [][]int, fn func(choice []int)) {
+	k := len(opts)
+	choice := make([]int, k)
+	var rec func(p int, any bool)
+	rec = func(p int, any bool) {
+		if p == k {
+			if any {
+				fn(choice)
+			}
+			return
+		}
+		choice[p] = -1
+		rec(p+1, any)
+		for _, v := range opts[p] {
+			choice[p] = v
+			rec(p+1, true)
+		}
+		choice[p] = -1
+	}
+	rec(0, false)
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,159 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// ZeroIOResult reports the outcome of the zero-I/O decision procedure.
+type ZeroIOResult struct {
+	Feasible bool
+	// Order is a witness compute order when Feasible (nil otherwise).
+	Order []dag.NodeID
+	// States is the number of distinct computed-sets explored.
+	States int
+}
+
+// ZeroIO decides whether a one-shot SPP pebbling of I/O cost 0 exists for
+// the DAG with fast memory r — the NP-hard decision problem at the heart
+// of Theorem 2.
+//
+// A zero-cost one-shot pebbling uses no blue pebbles at all, and (as the
+// proof of Theorem 2 observes) deletions are forced: a red pebble should
+// be deleted exactly when all out-neighbors have been computed, except on
+// sinks, which must keep their pebble to the end. A pebbling is therefore
+// exactly a permutation of the compute steps, and the memory bound must
+// hold after every prefix, where the pebbles alive after a prefix C are
+//
+//	live(C) = {v ∈ C : some successor ∉ C} ∪ {v ∈ C : v is a sink}.
+//
+// The search memoizes failed computed-sets; worst-case exponential, as it
+// must be unless P = NP. maxStates bounds the number of distinct sets
+// explored; exceeding it returns ErrBudget.
+func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	n := g.N()
+	if n > 62 {
+		return nil, fmt.Errorf("opt: ZeroIO supports at most 62 nodes, got %d", n)
+	}
+	if n == 0 {
+		return &ZeroIOResult{Feasible: true}, nil
+	}
+
+	predMask := make([]uint64, n)
+	succMask := make([]uint64, n)
+	var sinkMask uint64
+	for v := 0; v < n; v++ {
+		for _, u := range g.Pred(dag.NodeID(v)) {
+			predMask[v] |= 1 << uint(u)
+		}
+		for _, w := range g.Succ(dag.NodeID(v)) {
+			succMask[v] |= 1 << uint(w)
+		}
+	}
+	for _, v := range g.Sinks() {
+		sinkMask |= 1 << uint(v)
+	}
+	full := uint64(1)<<uint(n) - 1
+
+	// liveSet returns the mask of pebbles alive after computing exactly
+	// the set C (with forced deletions applied). An incremental version
+	// would be faster, but the closed form keeps the search obviously
+	// correct; instances here are small by NP-hardness.
+	liveSet := func(c uint64) uint64 {
+		live := c & sinkMask
+		rest := c &^ sinkMask
+		for rest != 0 {
+			v := trailingZeros(rest)
+			rest &= rest - 1
+			if succMask[v]&^c != 0 {
+				live |= 1 << uint(v)
+			}
+		}
+		return live
+	}
+
+	failed := map[uint64]bool{}
+	states := 0
+	var order []dag.NodeID
+	var rec func(c uint64) (bool, error)
+	rec = func(c uint64) (bool, error) {
+		if c == full {
+			return true, nil
+		}
+		if failed[c] {
+			return false, nil
+		}
+		states++
+		if states > maxStates {
+			return false, fmt.Errorf("%w after %d states", ErrBudget, states)
+		}
+		live := liveSet(c)
+		for v := 0; v < n; v++ {
+			bit := uint64(1) << uint(v)
+			if c&bit != 0 || predMask[v]&^c != 0 {
+				continue
+			}
+			// Peak occupancy while computing v: everything alive before
+			// the step (this includes all predecessors of v, which have
+			// the uncomputed successor v) plus v's fresh pebble; forced
+			// deletions only happen after the step.
+			if popcount(live|bit) > r {
+				continue
+			}
+			nc := c | bit
+			ok, err := rec(nc)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				order = append(order, dag.NodeID(v))
+				return true, nil
+			}
+		}
+		failed[c] = true
+		return false, nil
+	}
+
+	ok, err := rec(0)
+	if err != nil {
+		return nil, err
+	}
+	res := &ZeroIOResult{Feasible: ok, States: states}
+	if ok {
+		// order was accumulated in reverse (post-order of the successful
+		// spine); reverse it into execution order.
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		res.Order = order
+	}
+	return res, nil
+}
+
+// ZeroIOStrategy converts a witness order from ZeroIO into an executable
+// one-shot SPP strategy (computes in order, deleting pebbles as soon as
+// they die), suitable for validation via pebble.Replay.
+func ZeroIOStrategy(g *dag.Graph, order []dag.NodeID) *pebble.Strategy {
+	n := g.N()
+	remSucc := make([]int, n)
+	isSink := make([]bool, n)
+	for v := 0; v < n; v++ {
+		remSucc[v] = g.OutDegree(dag.NodeID(v))
+	}
+	for _, v := range g.Sinks() {
+		isSink[v] = true
+	}
+	s := &pebble.Strategy{}
+	for _, v := range order {
+		s.Append(pebble.Compute(pebble.At(0, v)))
+		for _, u := range g.Pred(v) {
+			remSucc[u]--
+			if remSucc[u] == 0 && !isSink[u] {
+				s.Append(pebble.Delete(pebble.At(0, u)))
+			}
+		}
+	}
+	return s
+}

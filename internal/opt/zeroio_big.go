@@ -1,0 +1,197 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+)
+
+// ZeroIOBig is ZeroIO for DAGs of arbitrary size, using bitsets instead
+// of single-word masks. It is used by the hardness reductions, whose
+// instances exceed 62 nodes. Same semantics as ZeroIO.
+func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &ZeroIOResult{Feasible: true}, nil
+	}
+	isSink := make([]bool, n)
+	for _, v := range g.Sinks() {
+		isSink[v] = true
+	}
+
+	// Incremental live tracking: when v is computed, v becomes live; each
+	// predecessor u with all successors computed (and not a sink) dies.
+	type frame struct {
+		v    dag.NodeID
+		died []dag.NodeID
+	}
+	computed := bitset.New(n)
+	live := bitset.New(n)
+	remSucc := make([]int, n)
+	remPred := make([]int, n)
+	for v := 0; v < n; v++ {
+		remSucc[v] = g.OutDegree(dag.NodeID(v))
+		remPred[v] = g.InDegree(dag.NodeID(v))
+	}
+
+	failed := map[string]bool{}
+	states := 0
+	var order []dag.NodeID
+
+	apply := func(v dag.NodeID) frame {
+		fr := frame{v: v}
+		computed.Add(int(v))
+		live.Add(int(v))
+		for _, u := range g.Pred(v) {
+			remSucc[u]--
+			if remSucc[u] == 0 && !isSink[u] {
+				live.Remove(int(u))
+				fr.died = append(fr.died, u)
+			}
+		}
+		for _, w := range g.Succ(v) {
+			remPred[w]--
+		}
+		return fr
+	}
+	undo := func(fr frame) {
+		for _, w := range g.Succ(fr.v) {
+			remPred[w]++
+		}
+		for _, u := range g.Pred(fr.v) {
+			remSucc[u]++
+		}
+		for _, u := range fr.died {
+			live.Add(int(u))
+		}
+		live.Remove(int(fr.v))
+		computed.Remove(int(fr.v))
+	}
+	key := func() string {
+		words := computed.AppendWords(nil)
+		buf := make([]byte, 0, len(words)*8)
+		for _, w := range words {
+			buf = appendU64(buf, w)
+		}
+		return string(buf)
+	}
+
+	// Twin canonicalization: nodes with identical predecessor and
+	// successor lists are interchangeable; restrict schedules to compute
+	// each twin class in ascending ID order. This is a pure symmetry
+	// reduction (any schedule can be relabeled within a class).
+	prevTwin := make([]dag.NodeID, n)
+	{
+		classes := map[string]dag.NodeID{}
+		for v := 0; v < n; v++ {
+			sig := make([]byte, 0, 4*(g.InDegree(dag.NodeID(v))+g.OutDegree(dag.NodeID(v))+1))
+			for _, u := range g.Pred(dag.NodeID(v)) {
+				sig = append(sig, byte(u), byte(u>>8), byte(u>>16), 'p')
+			}
+			sig = append(sig, '|')
+			for _, w := range g.Succ(dag.NodeID(v)) {
+				sig = append(sig, byte(w), byte(w>>8), byte(w>>16), 's')
+			}
+			key := string(sig)
+			if prev, ok := classes[key]; ok {
+				prevTwin[v] = prev
+			} else {
+				prevTwin[v] = -1
+			}
+			classes[key] = dag.NodeID(v)
+		}
+	}
+	allowed := func(v int) bool {
+		return prevTwin[v] < 0 || computed.Contains(int(prevTwin[v]))
+	}
+
+	// deaths returns how many pebbles computing v would free immediately.
+	deaths := func(v dag.NodeID) int {
+		d := 0
+		for _, u := range g.Pred(v) {
+			if remSucc[u] == 1 && !isSink[u] {
+				d++
+			}
+		}
+		return d
+	}
+
+	var rec func() (bool, error)
+	rec = func() (bool, error) {
+		if computed.Count() == n {
+			return true, nil
+		}
+		k := key()
+		if failed[k] {
+			return false, nil
+		}
+		states++
+		if states > maxStates {
+			return false, fmt.Errorf("%w after %d states", ErrBudget, states)
+		}
+		liveCount := live.Count()
+		// Dominance rule: a computable node whose computation immediately
+		// frees at least one pebble (net ≤ 0) can always be scheduled
+		// first — delaying it never helps (standard exchange argument:
+		// moving it earlier only lowers the live profile of every later
+		// prefix). Branch solely on the first such node when one exists.
+		if liveCount+1 <= r {
+			for v := 0; v < n; v++ {
+				if computed.Contains(v) || remPred[v] != 0 || !allowed(v) || deaths(dag.NodeID(v)) == 0 {
+					continue
+				}
+				fr := apply(dag.NodeID(v))
+				ok, err := rec()
+				if err != nil {
+					undo(fr)
+					return false, err
+				}
+				if ok {
+					order = append(order, dag.NodeID(v))
+				} else {
+					failed[k] = true
+				}
+				undo(fr)
+				return ok, nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			if computed.Contains(v) || remPred[v] != 0 || !allowed(v) {
+				continue
+			}
+			// Peak while computing v: current live + v's fresh pebble
+			// (v's predecessors are all live: they have the uncomputed
+			// successor v).
+			if liveCount+1 > r {
+				continue
+			}
+			fr := apply(dag.NodeID(v))
+			ok, err := rec()
+			if err != nil {
+				undo(fr)
+				return false, err
+			}
+			if ok {
+				order = append(order, dag.NodeID(v))
+				undo(fr)
+				return true, nil
+			}
+			undo(fr)
+		}
+		failed[k] = true
+		return false, nil
+	}
+	ok, err := rec()
+	if err != nil {
+		return nil, err
+	}
+	res := &ZeroIOResult{Feasible: ok, States: states}
+	if ok {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		res.Order = order
+	}
+	return res, nil
+}

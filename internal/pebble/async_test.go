@@ -1,0 +1,129 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+func asyncChain(t *testing.T, n int) (*Instance, *Strategy) {
+	t.Helper()
+	b := dag.NewBuilder("chain")
+	b.AddNewChain(n)
+	in := MustInstance(b.MustBuild(), MPP(1, 2, 3))
+	sb := NewBuilder(in)
+	for i := 0; i < n; i++ {
+		sb.Compute(0, dag.NodeID(i))
+		if i > 0 {
+			sb.DropRed(0, dag.NodeID(i-1))
+		}
+	}
+	return in, sb.Strategy()
+}
+
+func TestAsyncMakespanChainEqualsSync(t *testing.T) {
+	// A single processor has no asynchrony to exploit: makespan = cost.
+	in, s := asyncChain(t, 10)
+	rep, err := Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AsyncMakespan(in, s); got != rep.Cost {
+		t.Fatalf("makespan = %d, want sync cost %d", got, rep.Cost)
+	}
+}
+
+func TestAsyncMakespanHidesUnbalancedWork(t *testing.T) {
+	// Two processors; p0 computes a 6-chain while p1 computes a single
+	// node spread across the same global moves. Sync: 6 compute moves;
+	// async: still 6 (p0 is critical) — but if p1's work is issued as
+	// separate singleton moves, sync pays 7 while async stays at 6.
+	b := dag.NewBuilder("unbalanced")
+	chain := b.AddNewChain(6)
+	lone := b.AddNode()
+	g := b.MustBuild()
+	in := MustInstance(g, MPP(2, 2, 3))
+	sb := NewBuilder(in)
+	sb.Compute(1, lone) // singleton move: sync cost 1
+	for i, v := range chain {
+		sb.Compute(0, v)
+		if i > 0 {
+			sb.DropRed(0, chain[i-1])
+		}
+	}
+	s := sb.Strategy()
+	rep, err := Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost != 7 {
+		t.Fatalf("sync cost = %d, want 7", rep.Cost)
+	}
+	if got := AsyncMakespan(in, s); got != 6 {
+		t.Fatalf("async makespan = %d, want 6 (lone node hidden)", got)
+	}
+}
+
+func TestAsyncRespectsBlueDependency(t *testing.T) {
+	// p1 reads a value p0 writes; the read cannot start before the write
+	// finishes even though p1 is otherwise idle.
+	b := dag.NewBuilder("dep")
+	v := b.AddNode()
+	w := b.AddNode()
+	b.AddEdge(v, w)
+	g := b.MustBuild()
+	in := MustInstance(g, MPP(2, 2, 5))
+	sb := NewBuilder(in)
+	sb.Compute(0, v)
+	sb.Write(At(0, v))
+	sb.Read(At(1, v))
+	sb.Compute(1, w)
+	s := sb.Strategy()
+	// p0: compute (1) + write (5) = 6; p1: read starts at 6, ends 11,
+	// compute ends 12.
+	if got := AsyncMakespan(in, s); got != 12 {
+		t.Fatalf("makespan = %d, want 12", got)
+	}
+}
+
+func TestQuickAsyncNeverExceedsSync(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := dag.NewBuilder("rand")
+		b.AddNodes(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.2 {
+					b.AddEdge(dag.NodeID(u), dag.NodeID(v))
+				}
+			}
+		}
+		g := b.MustBuild()
+		in := MustInstance(g, MPP(1+rng.Intn(3), g.MaxInDegree()+2, 1+rng.Intn(4)))
+		// Baseline-style strategy through the Builder.
+		sb := NewBuilder(in)
+		p := 0
+		for _, v := range g.Topo() {
+			for _, u := range g.Pred(v) {
+				sb.EnsureRed(p, u)
+			}
+			sb.Compute(p, v)
+			sb.Save(p, v)
+			sb.DropAllRed(p)
+			p = (p + 1) % in.K
+		}
+		s := sb.Strategy()
+		rep, err := Replay(in, s)
+		if err != nil {
+			return false
+		}
+		ms := AsyncMakespan(in, s)
+		return ms <= rep.Cost && ms > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

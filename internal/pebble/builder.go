@@ -1,0 +1,183 @@
+package pebble
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Builder incrementally constructs a Strategy while tracking the resulting
+// configuration, so hand-crafted gadget strategies (the ones the paper's
+// proofs describe) can be written as straight-line code. Builder methods
+// panic on rule violations — a violation in a proof-encoded strategy is a
+// programming error — but every strategy produced here is additionally
+// validated by Replay in tests and experiments.
+type Builder struct {
+	in  *Instance
+	cfg *Config
+	s   Strategy
+}
+
+// NewBuilder returns a Builder over the given instance starting from the
+// empty configuration.
+func NewBuilder(in *Instance) *Builder {
+	return &Builder{in: in, cfg: NewConfig(in.Graph.N(), in.K)}
+}
+
+// Config returns the current configuration (live; do not modify).
+func (b *Builder) Config() *Config { return b.cfg }
+
+// Strategy returns the accumulated strategy.
+func (b *Builder) Strategy() *Strategy { return &Strategy{Moves: b.s.Moves} }
+
+// Raw appends a move without tracking; use only for moves whose effect is
+// re-established by later tracked moves. Most callers should not need it.
+func (b *Builder) Raw(m Move) { b.s.Append(m) }
+
+func (b *Builder) fail(format string, args ...any) {
+	panic(fmt.Sprintf("pebble.Builder: "+format, args...))
+}
+
+// Compute issues a compute move: processor p computes each node in vs
+// (one move per node when len(vs) > 1 would break injectivity, so this
+// issues len(vs) sequential moves, all on p).
+func (b *Builder) Compute(p int, vs ...dag.NodeID) {
+	for _, v := range vs {
+		for _, u := range b.in.Graph.Pred(v) {
+			if !b.cfg.Red[p].Contains(int(u)) {
+				b.fail("compute v%d on p%d: predecessor v%d not red", v, p, u)
+			}
+		}
+		b.cfg.Red[p].Add(int(v))
+		if b.cfg.Red[p].Count() > b.in.R {
+			b.fail("compute v%d on p%d: memory bound r=%d exceeded", v, p, b.in.R)
+		}
+		b.s.Append(Compute(At(p, v)))
+	}
+}
+
+// ComputeParallel issues one compute move in which each listed action's
+// processor computes its node simultaneously.
+func (b *Builder) ComputeParallel(actions ...Action) {
+	seen := map[int]bool{}
+	for _, a := range actions {
+		if seen[a.Proc] {
+			b.fail("parallel compute selects p%d twice", a.Proc)
+		}
+		seen[a.Proc] = true
+		for _, u := range b.in.Graph.Pred(a.Node) {
+			if !b.cfg.Red[a.Proc].Contains(int(u)) {
+				b.fail("parallel compute v%d on p%d: predecessor v%d not red", a.Node, a.Proc, u)
+			}
+		}
+	}
+	for _, a := range actions {
+		b.cfg.Red[a.Proc].Add(int(a.Node))
+		if b.cfg.Red[a.Proc].Count() > b.in.R {
+			b.fail("parallel compute: p%d exceeds r=%d", a.Proc, b.in.R)
+		}
+	}
+	b.s.Append(Compute(actions...))
+}
+
+// Write issues one write move storing each action's node to slow memory.
+func (b *Builder) Write(actions ...Action) {
+	for _, a := range actions {
+		if !b.cfg.Red[a.Proc].Contains(int(a.Node)) {
+			b.fail("write v%d: not red on p%d", a.Node, a.Proc)
+		}
+		b.cfg.Blue.Add(int(a.Node))
+	}
+	b.s.Append(Write(actions...))
+}
+
+// Read issues one read move loading each action's node from slow memory.
+func (b *Builder) Read(actions ...Action) {
+	for _, a := range actions {
+		if !b.cfg.Blue.Contains(int(a.Node)) {
+			b.fail("read v%d: no blue pebble", a.Node)
+		}
+		b.cfg.Red[a.Proc].Add(int(a.Node))
+		if b.cfg.Red[a.Proc].Count() > b.in.R {
+			b.fail("read v%d: p%d exceeds r=%d", a.Node, a.Proc, b.in.R)
+		}
+	}
+	b.s.Append(Read(actions...))
+}
+
+// Delete issues one delete move removing each action's pebble.
+func (b *Builder) Delete(actions ...Action) {
+	for _, a := range actions {
+		if a.Proc == BlueProc {
+			if !b.cfg.Blue.Contains(int(a.Node)) {
+				b.fail("delete blue v%d: absent", a.Node)
+			}
+			b.cfg.Blue.Remove(int(a.Node))
+			continue
+		}
+		if !b.cfg.Red[a.Proc].Contains(int(a.Node)) {
+			b.fail("delete v%d: not red on p%d", a.Node, a.Proc)
+		}
+		b.cfg.Red[a.Proc].Remove(int(a.Node))
+	}
+	b.s.Append(Delete(actions...))
+}
+
+// DropRed deletes the shade-p red pebbles on vs (skipping absent ones),
+// as a single free move. No-op if none present.
+func (b *Builder) DropRed(p int, vs ...dag.NodeID) {
+	var acts []Action
+	for _, v := range vs {
+		if b.cfg.Red[p].Contains(int(v)) {
+			acts = append(acts, At(p, v))
+			b.cfg.Red[p].Remove(int(v))
+		}
+	}
+	if len(acts) > 0 {
+		b.s.Append(Delete(acts...))
+	}
+}
+
+// DropAllRed deletes every shade-p red pebble except those in keep.
+func (b *Builder) DropAllRed(p int, keep ...dag.NodeID) {
+	keepSet := map[dag.NodeID]bool{}
+	for _, v := range keep {
+		keepSet[v] = true
+	}
+	var acts []Action
+	b.cfg.Red[p].ForEach(func(i int) bool {
+		if !keepSet[dag.NodeID(i)] {
+			acts = append(acts, At(p, dag.NodeID(i)))
+		}
+		return true
+	})
+	for _, a := range acts {
+		b.cfg.Red[a.Proc].Remove(int(a.Node))
+	}
+	if len(acts) > 0 {
+		b.s.Append(Delete(acts...))
+	}
+}
+
+// EnsureRed makes v red on p: a no-op if already red, a Read if v is blue;
+// panics otherwise.
+func (b *Builder) EnsureRed(p int, v dag.NodeID) {
+	if b.cfg.Red[p].Contains(int(v)) {
+		return
+	}
+	if !b.cfg.Blue.Contains(int(v)) {
+		b.fail("EnsureRed v%d on p%d: neither red nor blue", v, p)
+	}
+	b.Read(At(p, v))
+}
+
+// Save writes v to slow memory if it is not already blue.
+func (b *Builder) Save(p int, v dag.NodeID) {
+	if b.cfg.Blue.Contains(int(v)) {
+		return
+	}
+	b.Write(At(p, v))
+}
+
+// FreeSlots returns r − |R^p|, the remaining fast-memory capacity of p.
+func (b *Builder) FreeSlots(p int) int { return b.in.R - b.cfg.Red[p].Count() }

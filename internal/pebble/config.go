@@ -1,0 +1,97 @@
+package pebble
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+)
+
+// Config is a pebbling configuration: one red-pebble set per processor
+// shade plus the shared blue-pebble set. It corresponds to the tuple
+// (R¹, …, Rᵏ, B) of the paper.
+type Config struct {
+	Red  []*bitset.Set // Red[j] is R^j, the shade-j red pebbles
+	Blue *bitset.Set
+}
+
+// NewConfig returns the empty initial configuration C₀ for k processors
+// over an n-node DAG.
+func NewConfig(n, k int) *Config {
+	c := &Config{Red: make([]*bitset.Set, k), Blue: bitset.New(n)}
+	for j := range c.Red {
+		c.Red[j] = bitset.New(n)
+	}
+	return c
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{Red: make([]*bitset.Set, len(c.Red)), Blue: c.Blue.Clone()}
+	for j, r := range c.Red {
+		out.Red[j] = r.Clone()
+	}
+	return out
+}
+
+// Valid reports whether every shade respects the memory bound r.
+func (c *Config) Valid(r int) bool {
+	for _, rs := range c.Red {
+		if rs.Count() > r {
+			return false
+		}
+	}
+	return true
+}
+
+// Terminal reports whether every sink of g holds a pebble of any color —
+// the termination condition S ⊆ B ∪ ⋃ⱼ Rʲ.
+func (c *Config) Terminal(g *dag.Graph) bool {
+	for _, s := range g.Sinks() {
+		if !c.HasAnyPebble(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasAnyPebble reports whether v holds a blue pebble or a red pebble of
+// any shade.
+func (c *Config) HasAnyPebble(v dag.NodeID) bool {
+	if c.Blue.Contains(int(v)) {
+		return true
+	}
+	for _, r := range c.Red {
+		if r.Contains(int(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// RedCount returns the number of red pebbles of shade j in use.
+func (c *Config) RedCount(j int) int { return c.Red[j].Count() }
+
+// Equal reports whether two configurations hold identical pebbles.
+func (c *Config) Equal(d *Config) bool {
+	if len(c.Red) != len(d.Red) || !c.Blue.Equal(d.Blue) {
+		return false
+	}
+	for j := range c.Red {
+		if !c.Red[j].Equal(d.Red[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the configuration, e.g. "R0={1, 2} R1={} B={3}".
+func (c *Config) String() string {
+	var b strings.Builder
+	for j, r := range c.Red {
+		fmt.Fprintf(&b, "R%d=%s ", j, r)
+	}
+	fmt.Fprintf(&b, "B=%s", c.Blue)
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package pebble
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// OpKind identifies the transition rule a Move applies.
+type OpKind uint8
+
+const (
+	// OpWrite is rule (R1-M): red → blue (store to slow memory), cost g.
+	OpWrite OpKind = iota
+	// OpRead is rule (R2-M): blue → red (load from slow memory), cost g.
+	OpRead
+	// OpCompute is rule (R3-M): place a red pebble on a node whose
+	// predecessors all carry same-shade red pebbles, cost ComputeCost.
+	OpCompute
+	// OpDelete is rule (R4-M): remove pebbles, free.
+	OpDelete
+)
+
+// String returns the rule mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpCompute:
+		return "compute"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// BlueProc is the Proc value in a Delete action that removes a blue
+// pebble rather than a red one.
+const BlueProc = -1
+
+// Action is one processor's part of a Move: processor Proc operates on
+// node Node. In a Delete move, Proc == BlueProc removes the blue pebble on
+// Node instead of a red one.
+type Action struct {
+	Proc int
+	Node dag.NodeID
+}
+
+// Move applies one transition rule via a shaded selection of processors:
+// all Actions execute simultaneously and the whole move incurs the rule's
+// cost once. In Write, Read and Compute moves each processor may appear at
+// most once (the selection is injective); Delete moves are unrestricted
+// since they are free.
+type Move struct {
+	Kind    OpKind
+	Actions []Action
+}
+
+// Write builds an (R1-M) move storing each (proc, node) pair's red pebble
+// to slow memory.
+func Write(actions ...Action) Move { return Move{Kind: OpWrite, Actions: actions} }
+
+// Read builds an (R2-M) move loading a blue pebble into each listed
+// processor's fast memory.
+func Read(actions ...Action) Move { return Move{Kind: OpRead, Actions: actions} }
+
+// Compute builds an (R3-M) move computing each (proc, node) pair.
+func Compute(actions ...Action) Move { return Move{Kind: OpCompute, Actions: actions} }
+
+// Delete builds an (R4-M) move removing the listed pebbles.
+func Delete(actions ...Action) Move { return Move{Kind: OpDelete, Actions: actions} }
+
+// At is shorthand for Action{Proc: p, Node: v}.
+func At(p int, v dag.NodeID) Action { return Action{Proc: p, Node: v} }
+
+// Blue is shorthand for a delete-blue action on v.
+func Blue(v dag.NodeID) Action { return Action{Proc: BlueProc, Node: v} }
+
+// Cost returns the cost of the move under parameters p.
+func (m Move) Cost(p Params) int64 {
+	switch m.Kind {
+	case OpWrite, OpRead:
+		return int64(p.G)
+	case OpCompute:
+		return int64(p.ComputeCost)
+	default:
+		return 0
+	}
+}
+
+// String renders the move compactly, e.g. "compute[p0:v3 p1:v7]".
+func (m Move) String() string {
+	var b strings.Builder
+	b.WriteString(m.Kind.String())
+	b.WriteByte('[')
+	for i, a := range m.Actions {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if a.Proc == BlueProc {
+			fmt.Fprintf(&b, "blue:v%d", a.Node)
+		} else {
+			fmt.Fprintf(&b, "p%d:v%d", a.Proc, a.Node)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Strategy is a pebbling strategy: the sequence of moves applied to the
+// initial (empty) configuration.
+type Strategy struct {
+	Moves []Move
+}
+
+// Append adds moves to the strategy.
+func (s *Strategy) Append(moves ...Move) { s.Moves = append(s.Moves, moves...) }
+
+// Len returns the number of moves.
+func (s *Strategy) Len() int { return len(s.Moves) }
+
+// Concat returns a new strategy running s then t.
+func (s *Strategy) Concat(t *Strategy) *Strategy {
+	out := &Strategy{Moves: make([]Move, 0, len(s.Moves)+len(t.Moves))}
+	out.Moves = append(out.Moves, s.Moves...)
+	out.Moves = append(out.Moves, t.Moves...)
+	return out
+}
+
+// Cost returns the total cost of the strategy under parameters p without
+// validating it (see Replay for validated cost).
+func (s *Strategy) Cost(p Params) int64 {
+	var c int64
+	for _, m := range s.Moves {
+		c += m.Cost(p)
+	}
+	return c
+}
+
+// String renders up to 40 moves, eliding the middle of long strategies.
+func (s *Strategy) String() string {
+	const limit = 40
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy(%d moves)", len(s.Moves))
+	n := len(s.Moves)
+	if n == 0 {
+		return b.String()
+	}
+	b.WriteString(": ")
+	if n <= limit {
+		for i, m := range s.Moves {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(m.String())
+		}
+		return b.String()
+	}
+	for i := 0; i < limit/2; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.Moves[i].String())
+	}
+	fmt.Fprintf(&b, "; … %d elided …; ", n-limit)
+	for i := n - limit/2; i < n; i++ {
+		b.WriteString(s.Moves[i].String())
+		if i != n-1 {
+			b.WriteString("; ")
+		}
+	}
+	return b.String()
+}

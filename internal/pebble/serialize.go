@@ -1,0 +1,72 @@
+package pebble
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+)
+
+// jsonMove is the wire form of a Move: a one-letter kind plus [proc,node]
+// action pairs (proc −1 encodes a blue deletion).
+type jsonMove struct {
+	K string     `json:"k"`
+	A [][2]int32 `json:"a"`
+}
+
+var kindLetter = map[OpKind]string{
+	OpWrite:   "w",
+	OpRead:    "r",
+	OpCompute: "c",
+	OpDelete:  "d",
+}
+
+var letterKind = map[string]OpKind{
+	"w": OpWrite,
+	"r": OpRead,
+	"c": OpCompute,
+	"d": OpDelete,
+}
+
+// WriteJSON streams the strategy as one JSON array of moves.
+func (s *Strategy) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	moves := make([]jsonMove, len(s.Moves))
+	for i, m := range s.Moves {
+		jm := jsonMove{K: kindLetter[m.Kind], A: make([][2]int32, len(m.Actions))}
+		for j, a := range m.Actions {
+			jm.A[j] = [2]int32{int32(a.Proc), int32(a.Node)}
+		}
+		moves[i] = jm
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(moves); err != nil {
+		return fmt.Errorf("pebble: encoding strategy: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a strategy written by WriteJSON. The result is not
+// validated against any instance; run Replay to check it.
+func ReadJSON(r io.Reader) (*Strategy, error) {
+	var moves []jsonMove
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&moves); err != nil {
+		return nil, fmt.Errorf("pebble: decoding strategy: %w", err)
+	}
+	s := &Strategy{}
+	for i, jm := range moves {
+		kind, ok := letterKind[jm.K]
+		if !ok {
+			return nil, fmt.Errorf("pebble: move %d has unknown kind %q", i, jm.K)
+		}
+		m := Move{Kind: kind, Actions: make([]Action, len(jm.A))}
+		for j, a := range jm.A {
+			m.Actions[j] = Action{Proc: int(a[0]), Node: dag.NodeID(a[1])}
+		}
+		s.Append(m)
+	}
+	return s, nil
+}

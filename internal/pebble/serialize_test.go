@@ -1,0 +1,74 @@
+package pebble
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestStrategyJSONRoundTrip(t *testing.T) {
+	b := dag.NewBuilder("g")
+	b.AddNewChain(3)
+	g := b.MustBuild()
+	in := MustInstance(g, MPP(2, 2, 3))
+	sb := NewBuilder(in)
+	sb.Compute(0, 0)
+	sb.Save(0, 0)
+	sb.Read(At(1, 0))
+	sb.Compute(1, 1)
+	sb.DropRed(1, 0)
+	sb.Compute(1, 2)
+	sb.Delete(Blue(0))
+	s := sb.Strategy()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip: %d moves, want %d", got.Len(), s.Len())
+	}
+	for i := range s.Moves {
+		if s.Moves[i].String() != got.Moves[i].String() {
+			t.Fatalf("move %d mismatch: %s vs %s", i, s.Moves[i], got.Moves[i])
+		}
+	}
+	// The round-tripped strategy must still replay identically.
+	want, err := Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := Replay(in, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Cost != have.Cost || want.IOActions != have.IOActions {
+		t.Fatal("round-tripped strategy replays differently")
+	}
+}
+
+func TestStrategyJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"k":"x","a":[[0,0]]}]`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Valid JSON, invalid semantics: replay is the gatekeeper.
+	s, err := ReadJSON(strings.NewReader(`[{"k":"c","a":[[0,99]]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dag.NewBuilder("g")
+	b.AddNewChain(2)
+	in := MustInstance(b.MustBuild(), MPP(1, 2, 1))
+	if _, err := Replay(in, s); err == nil {
+		t.Error("out-of-range strategy passed replay")
+	}
+}

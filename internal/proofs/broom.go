@@ -1,0 +1,127 @@
+package proofs
+
+import (
+	"repro/internal/gen"
+	"repro/internal/pebble"
+)
+
+// BroomSerial is the single-processor strategy for the SharedPrefixBroom
+// gadget (Section 5, I/O-jump-down): each shared value x_j is computed
+// once, backed up to slow memory (1 write), consumed immediately by chain
+// A, and read back later for chain B (1 read) — Θ(t) I/O in total, which
+// beats recomputing the length-L prefixes whenever 2g < L.
+func BroomSerial(in *pebble.Instance, ids *gen.BroomIDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	const p = 0
+	t := len(ids.Shared)
+	stride := len(ids.A) / t
+
+	// Phase A: interleave prefix computation with chain A.
+	for j := 0; j < t; j++ {
+		prefix := ids.Shared[j]
+		for i, x := range prefix {
+			b.Compute(p, x)
+			if i > 0 {
+				b.DropRed(p, prefix[i-1])
+			}
+		}
+		xj := prefix[len(prefix)-1]
+		b.Save(p, xj) // 1 write: x_j parked for chain B
+		for s := 0; s < stride; s++ {
+			idx := j*stride + s
+			b.Compute(p, ids.A[idx])
+			if idx > 0 {
+				b.DropRed(p, ids.A[idx-1])
+			}
+			if s == 0 {
+				b.DropRed(p, xj)
+			}
+		}
+	}
+	// Park chain A's sink so its slot frees up for phase B.
+	aLast := ids.A[len(ids.A)-1]
+	b.Save(p, aLast)
+	b.DropRed(p, aLast)
+
+	// Phase B: read each x_j back.
+	for j := 0; j < t; j++ {
+		xj := ids.Shared[j][len(ids.Shared[j])-1]
+		b.EnsureRed(p, xj) // 1 read
+		for s := 0; s < stride; s++ {
+			idx := j*stride + s
+			b.Compute(p, ids.B[idx])
+			if idx > 0 {
+				b.DropRed(p, ids.B[idx-1])
+			}
+			if s == 0 {
+				b.DropRed(p, xj)
+			}
+		}
+	}
+	return b.Strategy()
+}
+
+// BroomParallel is the two-processor strategy for the SharedPrefixBroom:
+// processor 0 owns chain A, processor 1 owns chain B, and *both*
+// recompute every shared prefix privately in lock-step compute moves —
+// the duplicated work hides inside shared parallel steps and the
+// pebbling uses zero I/O (the paper's "recomputation instead of I/O"
+// phenomenon that makes OPT_IO drop from Θ(n) to 0 as k goes 1 → 2).
+func BroomParallel(in *pebble.Instance, ids *gen.BroomIDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	t := len(ids.Shared)
+	stride := len(ids.A) / t
+	for j := 0; j < t; j++ {
+		prefix := ids.Shared[j]
+		for i, x := range prefix {
+			b.ComputeParallel(pebble.At(0, x), pebble.At(1, x))
+			if i > 0 {
+				b.DropRed(0, prefix[i-1])
+				b.DropRed(1, prefix[i-1])
+			}
+		}
+		xj := prefix[len(prefix)-1]
+		for s := 0; s < stride; s++ {
+			idx := j*stride + s
+			b.ComputeParallel(pebble.At(0, ids.A[idx]), pebble.At(1, ids.B[idx]))
+			if idx > 0 {
+				b.DropRed(0, ids.A[idx-1])
+				b.DropRed(1, ids.B[idx-1])
+			}
+			if s == 0 {
+				b.DropRed(0, xj)
+				b.DropRed(1, xj)
+			}
+		}
+	}
+	return b.Strategy()
+}
+
+// TrapGOptimal is the interleaved zero-I/O reference strategy for the
+// GreedyTrapG gadget on one processor with r ≥ d+5: the persistent group
+// S stays resident; per block, c_i, t_i, w_i are computed back-to-back so
+// every bait t_i dies immediately — total cost n, versus greedy's
+// n + ≈2g·m (Lemma 4, second bullet).
+func TrapGOptimal(in *pebble.Instance, ids *gen.TrapGIDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	const p = 0
+	for _, u := range ids.S {
+		b.Compute(p, u)
+	}
+	m := len(ids.C)
+	for i := 0; i < m; i++ {
+		b.Compute(p, ids.C[i])
+		b.Compute(p, ids.T[i])
+		if i > 0 {
+			b.DropRed(p, ids.C[i-1])
+		}
+		b.Compute(p, ids.E[i])
+		b.Compute(p, ids.W[i])
+		if i > 0 {
+			b.DropRed(p, ids.W[i-1])
+		}
+		b.DropRed(p, ids.T[i], ids.E[i])
+	}
+	// Terminal: w_m (the only sink) holds a red pebble.
+	return b.Strategy()
+}

@@ -1,0 +1,111 @@
+package proofs
+
+import (
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+)
+
+// fig1Subtree pebbles one Figure 1 subtree on processor p with r = 3,
+// spilling the first child through slow memory exactly as the paper's
+// walkthrough does (2 I/O operations); leaves a red pebble on the root.
+func fig1Subtree(b *pebble.Builder, p int, s1, s2, c1, s3, s4, c2, root dag.NodeID) {
+	b.Compute(p, s1, s2)
+	b.Compute(p, c1)
+	b.DropRed(p, s1, s2)
+	b.Save(p, c1)
+	b.DropRed(p, c1)
+	b.Compute(p, s3, s4)
+	b.Compute(p, c2)
+	b.DropRed(p, s3, s4)
+	b.EnsureRed(p, c1)
+	b.Compute(p, root)
+	b.DropRed(p, c1, c2)
+}
+
+// Figure1Single is the paper's single-processor walkthrough (Section 1):
+// r = 3 red pebbles, 6 I/O operations, every node computed once.
+func Figure1Single(in *pebble.Instance, ids *gen.Fig1IDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	fig1Subtree(b, 0, ids.V1, ids.V2, ids.V3, ids.U1, ids.U2, ids.V4, ids.V5)
+	b.Save(0, ids.V5)
+	b.DropRed(0, ids.V5)
+	fig1Subtree(b, 0, ids.W1, ids.W2, ids.X3, ids.Y1, ids.Y2, ids.X4, ids.V6)
+	b.EnsureRed(0, ids.V5)
+	b.Compute(0, ids.V7)
+	return b.Strategy()
+}
+
+// Figure1Double is the paper's two-processor walkthrough: the subtrees
+// run in parallel on separate shades, then v5 is handed from p0 to p1
+// through shared memory.
+func Figure1Double(in *pebble.Instance, ids *gen.Fig1IDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	l := [2][7]dag.NodeID{
+		{ids.V1, ids.V2, ids.U1, ids.U2, ids.V3, ids.V4, ids.V5},
+		{ids.W1, ids.W2, ids.Y1, ids.Y2, ids.X3, ids.X4, ids.V6},
+	}
+	both := func(idx int) []pebble.Action {
+		return []pebble.Action{pebble.At(0, l[0][idx]), pebble.At(1, l[1][idx])}
+	}
+	for _, i := range []int{0, 1, 4} {
+		b.ComputeParallel(both(i)...)
+	}
+	for p := 0; p < 2; p++ {
+		b.DropRed(p, l[p][0], l[p][1])
+	}
+	b.Write(both(4)...)
+	for p := 0; p < 2; p++ {
+		b.DropRed(p, l[p][4])
+	}
+	for _, i := range []int{2, 3, 5} {
+		b.ComputeParallel(both(i)...)
+	}
+	for p := 0; p < 2; p++ {
+		b.DropRed(p, l[p][2], l[p][3])
+	}
+	b.Read(both(4)...)
+	b.ComputeParallel(both(6)...)
+	for p := 0; p < 2; p++ {
+		b.DropRed(p, l[p][4], l[p][5])
+	}
+	b.Write(pebble.At(0, ids.V5))
+	b.Read(pebble.At(1, ids.V5))
+	b.Compute(1, ids.V7)
+	return b.Strategy()
+}
+
+// ZipperRecompute is the cheap-recomputation strategy for the tail-less
+// zipper with r = d+2 on one processor: instead of reloading the swapped-
+// out input group through slow memory (d·g per chain node), the group's
+// source nodes are recomputed (d compute steps per chain node) — the
+// strategy the paper notes makes tail-less recomputation dominate, and
+// the reference optimum for the Lemma 4 Δ_in-factor greedy trap (the
+// greedy class never recomputes, so with g ≈ d it pays ≈ d·g = d² per
+// node versus ≈ d+1 here).
+func ZipperRecompute(in *pebble.Instance, ids *gen.ZipperIDs) *pebble.Strategy {
+	b := pebble.NewBuilder(in)
+	const p = 0
+	group := func(i int) []dag.NodeID {
+		if (i+1)%2 == 1 {
+			return ids.S1
+		}
+		return ids.S2
+	}
+	for _, u := range ids.S1 {
+		b.Compute(p, u)
+	}
+	for i, v := range ids.Chain {
+		if i > 0 {
+			b.DropRed(p, group(i-1)...)
+			for _, u := range group(i) {
+				b.Compute(p, u) // recompute: tail-less inputs are sources
+			}
+		}
+		b.Compute(p, v)
+		if i > 0 {
+			b.DropRed(p, ids.Chain[i-1])
+		}
+	}
+	return b.Strategy()
+}

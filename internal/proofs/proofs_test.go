@@ -1,0 +1,237 @@
+package proofs
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+func replayOK(t *testing.T, in *pebble.Instance, s *pebble.Strategy) *pebble.Report {
+	t.Helper()
+	rep, err := pebble.Replay(in, s)
+	if err != nil {
+		t.Fatalf("proof strategy invalid: %v", err)
+	}
+	return rep
+}
+
+func TestZipperAmpleZeroIO(t *testing.T) {
+	for _, tail := range []int{0, 4} {
+		d, n0 := 3, 15
+		g, ids := gen.Zipper(d, n0, tail)
+		in := pebble.MustInstance(g, pebble.MPP(1, 2*d+2, 5))
+		rep := replayOK(t, in, ZipperAmple(in, ids))
+		if rep.IOActions != 0 {
+			t.Errorf("tail=%d: IOActions = %d, want 0", tail, rep.IOActions)
+		}
+		if rep.Cost != int64(g.N()) {
+			t.Errorf("tail=%d: cost = %d, want n = %d", tail, rep.Cost, g.N())
+		}
+		if rep.Recomputations != 0 {
+			t.Errorf("tail=%d: recomputations = %d", tail, rep.Recomputations)
+		}
+	}
+}
+
+func TestZipperSwapCostFormula(t *testing.T) {
+	d, n0, ioCost := 3, 12, 4
+	g, ids := gen.Zipper(d, n0, 2*ioCost) // tails of length 2g per the paper
+	in := pebble.MustInstance(g, pebble.MPP(1, d+2, ioCost))
+	rep := replayOK(t, in, ZipperSwap(in, ids))
+	// I/O: 2d backup writes + (n0−2)·d reload reads.
+	wantIOActions := 2*d + (n0-2)*d
+	if rep.IOActions != wantIOActions {
+		t.Errorf("IOActions = %d, want %d", rep.IOActions, wantIOActions)
+	}
+	if rep.ComputeActions != g.N() {
+		t.Errorf("ComputeActions = %d, want %d (no recomputation)", rep.ComputeActions, g.N())
+	}
+	// Per-chain-node asymptotic cost ≈ d·g + 1.
+	perNode := float64(rep.Cost-int64(g.N()-n0)) / float64(n0)
+	ideal := float64(d*ioCost + 1)
+	if perNode < ideal*0.7 || perNode > ideal*1.3 {
+		t.Errorf("per-node cost %.1f far from d·g+1 = %.1f", perNode, ideal)
+	}
+}
+
+func TestZipperParallelSuperlinear(t *testing.T) {
+	d, n0, ioCost := 6, 20, 4
+	g, ids := gen.Zipper(d, n0, 2*ioCost)
+	in1 := pebble.MustInstance(g, pebble.MPP(1, d+2, ioCost))
+	rep1 := replayOK(t, in1, ZipperSwap(in1, ids))
+
+	in2 := pebble.MustInstance(g, pebble.MPP(2, d+2, ioCost))
+	rep2 := replayOK(t, in2, ZipperParallel(in2, ids))
+
+	// Lemma 10: speedup approaches (Δin−1)/2 = d/2 for large g; with
+	// finite parameters expect clearly superlinear (> 2) speedup here.
+	speedup := float64(rep1.Cost) / float64(rep2.Cost)
+	if speedup <= 2.0 {
+		t.Errorf("speedup = %.2f, want > 2 (superlinear for k=2)", speedup)
+	}
+	// Per-chain-node cost of the parallel strategy ≈ 2g+1.
+	if rep2.IOActions < 2*(n0-1) {
+		t.Errorf("parallel zipper IOActions = %d, want ≥ %d handover ops", rep2.IOActions, 2*(n0-1))
+	}
+}
+
+func TestCyclicResidentAndStarved(t *testing.T) {
+	D, delta, n0, stride := 12, 3, 20, 3
+	g, ids := gen.CyclicFanChain(D, delta, n0, stride)
+	inFull := pebble.MustInstance(g, pebble.MPP(1, D+2, 3))
+	repFull := replayOK(t, inFull, CyclicResident(inFull, ids))
+	if repFull.IOActions != 0 || repFull.Cost != int64(g.N()) {
+		t.Errorf("resident: io=%d cost=%d want 0/%d", repFull.IOActions, repFull.Cost, g.N())
+	}
+
+	// Fair split across k=2: r = (D+2)/2 = 7 ≥ δ+2 = 5.
+	inHalf := pebble.MustInstance(g, pebble.MPP(1, (D+2)/2, 3))
+	repHalf := replayOK(t, inHalf, CyclicStarved(inHalf, ids, delta, stride))
+	if repHalf.IOActions == 0 {
+		t.Error("starved strategy used no I/O; gadget not starving")
+	}
+	if repHalf.Cost <= repFull.Cost {
+		t.Errorf("starved cost %d not above resident cost %d", repHalf.Cost, repFull.Cost)
+	}
+	if repHalf.Recomputations != 0 {
+		t.Error("starved strategy recomputed")
+	}
+}
+
+func TestMultiCyclicLemma9Shape(t *testing.T) {
+	// Lemma 9 non-monotonicity: cost(k=2) < cost(k=1) and < cost(k=4)
+	// under the fair memory split r = r0/k with r0 = 2(D+2).
+	D, delta, n0, stride := 10, 2, 24, 2
+	g, ids := gen.MultiCyclicFanChain(2, D, delta, n0, stride)
+	r0 := 2 * (D + 2)
+
+	in1 := pebble.MustInstance(g, pebble.MPP(1, r0, 3))
+	rep1 := replayOK(t, in1, MultiCyclicSerial(in1, ids))
+	if rep1.IOActions != 0 {
+		t.Errorf("serial: io=%d, want 0", rep1.IOActions)
+	}
+	if rep1.Cost != int64(g.N()) {
+		t.Errorf("serial cost = %d, want %d", rep1.Cost, g.N())
+	}
+
+	in2 := pebble.MustInstance(g, pebble.MPP(2, r0/2, 3))
+	rep2 := replayOK(t, in2, MultiCyclicPerChain(in2, ids))
+	if rep2.IOActions != 0 {
+		t.Errorf("per-chain: io=%d, want 0", rep2.IOActions)
+	}
+	if rep2.Cost != int64(g.N()/2) {
+		t.Errorf("per-chain cost = %d, want %d", rep2.Cost, g.N()/2)
+	}
+
+	in4 := pebble.MustInstance(g, pebble.MPP(4, r0/4, 3))
+	rep4 := replayOK(t, in4, MultiCyclicStarved(in4, ids, delta, stride))
+	if rep4.Cost <= rep2.Cost {
+		t.Errorf("starved k=4 cost %d not above k=2 cost %d (non-monotonicity broken)",
+			rep4.Cost, rep2.Cost)
+	}
+	if rep1.Cost <= rep2.Cost {
+		t.Errorf("k=1 cost %d not above k=2 cost %d", rep1.Cost, rep2.Cost)
+	}
+}
+
+func TestBroomSerialIOCount(t *testing.T) {
+	tt, stride, ioCost := 5, 3, 2
+	L := 2*ioCost + 1 // prefix longer than a round trip
+	g, ids := gen.SharedPrefixBroom(tt, stride, L)
+	in := pebble.MustInstance(g, pebble.MPP(1, 3, ioCost))
+	rep := replayOK(t, in, BroomSerial(in, ids))
+	// t writes + t reads + 1 sink parking.
+	if rep.IOActions != 2*tt+1 {
+		t.Errorf("IOActions = %d, want %d", rep.IOActions, 2*tt+1)
+	}
+	if rep.Recomputations != 0 {
+		t.Error("serial broom recomputed")
+	}
+}
+
+func TestBroomParallelZeroIO(t *testing.T) {
+	tt, stride, ioCost := 5, 3, 2
+	L := 2*ioCost + 1
+	g, ids := gen.SharedPrefixBroom(tt, stride, L)
+	in2 := pebble.MustInstance(g, pebble.MPP(2, 3, ioCost))
+	rep2 := replayOK(t, in2, BroomParallel(in2, ids))
+	if rep2.IOActions != 0 {
+		t.Errorf("parallel broom IOActions = %d, want 0", rep2.IOActions)
+	}
+	// Every prefix node recomputed once (by the second processor).
+	if rep2.Recomputations != tt*L {
+		t.Errorf("Recomputations = %d, want %d", rep2.Recomputations, tt*L)
+	}
+	// And the parallel strategy must be cheaper than the serial one.
+	in1 := pebble.MustInstance(g, pebble.MPP(1, 3, ioCost))
+	rep1 := replayOK(t, in1, BroomSerial(in1, ids))
+	if rep2.Cost >= rep1.Cost {
+		t.Errorf("parallel cost %d not below serial cost %d", rep2.Cost, rep1.Cost)
+	}
+}
+
+func TestTrapGOptimalZeroIO(t *testing.T) {
+	d, m := 2, 10
+	g, ids := gen.GreedyTrapG(d, m)
+	in := pebble.MustInstance(g, pebble.MPP(1, d+5, 6))
+	rep := replayOK(t, in, TrapGOptimal(in, ids))
+	if rep.IOActions != 0 {
+		t.Errorf("IOActions = %d, want 0", rep.IOActions)
+	}
+	if rep.Cost != int64(g.N()) {
+		t.Errorf("cost = %d, want n = %d", rep.Cost, g.N())
+	}
+}
+
+func TestMatMulTileSize(t *testing.T) {
+	cases := map[int]int{5: 1, 13: 1, 14: 2, 28: 2, 29: 3, 50: 4}
+	for r, want := range cases {
+		if got := MatMulTileSize(r); got != want {
+			t.Errorf("MatMulTileSize(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestMatMulTiledValidAndNearBound(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{2, 5}, {4, 14}, {4, 29}, {6, 14}} {
+		g, ids := gen.MatMulWithIDs(tc.n)
+		in := pebble.MustInstance(g, pebble.MPP(1, tc.r, 2))
+		rep := replayOK(t, in, MatMulTiled(in, ids))
+		if rep.ComputeActions != g.N() {
+			t.Errorf("n=%d r=%d: computed %d of %d nodes", tc.n, tc.r, rep.ComputeActions, g.N())
+		}
+		if rep.Recomputations != 0 {
+			t.Errorf("n=%d r=%d: unexpected recomputation", tc.n, tc.r)
+		}
+		// I/O volume ≈ 2n³/b + n² (+ 2n² one-time input writes). Check
+		// within a factor 4 of the analytic tiling volume.
+		b := MatMulTileSize(tc.r)
+		if b > tc.n {
+			b = tc.n
+		}
+		n3 := tc.n * tc.n * tc.n
+		predicted := 2*n3/b + 3*tc.n*tc.n
+		if rep.IOActions > 4*predicted || rep.IOActions < predicted/4 {
+			t.Errorf("n=%d r=%d: IOActions = %d, tiling analysis predicts ≈ %d",
+				tc.n, tc.r, rep.IOActions, predicted)
+		}
+	}
+}
+
+func TestMatMulTiledBeatsPortfolioMemoryPressure(t *testing.T) {
+	// Under memory pressure the tiled schedule should use far less I/O
+	// than the naive baseline.
+	n, r := 6, 14
+	g, ids := gen.MatMulWithIDs(n)
+	in := pebble.MustInstance(g, pebble.MPP(1, r, 2))
+	tiled := replayOK(t, in, MatMulTiled(in, ids))
+	base, err := sched.Run(sched.Baseline{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.IOActions*2 > base.IOActions {
+		t.Errorf("tiled I/O %d not ≪ baseline I/O %d", tiled.IOActions, base.IOActions)
+	}
+}

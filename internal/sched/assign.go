@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// AssignFunc maps every node of a DAG to an owning processor in [0, k).
+type AssignFunc func(g *dag.Graph, k int) []int
+
+// AssignAllToOne places every node on processor 0 — turning Partitioned
+// into a single-processor scheduler with exact Belady eviction (a strong
+// SPP heuristic).
+func AssignAllToOne(g *dag.Graph, k int) []int {
+	return make([]int, g.N())
+}
+
+// AssignComponents assigns weakly-connected components to processors,
+// largest component first onto the currently lightest processor
+// (longest-processing-time bin packing). Disconnected workloads such as
+// independent chains parallelize perfectly under this assignment.
+func AssignComponents(g *dag.Graph, k int) []int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		stack := []dag.NodeID{dag.NodeID(v)}
+		comp[v] = id
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, w := range g.Succ(x) {
+				if comp[w] == -1 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range g.Pred(x) {
+				if comp[w] == -1 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	// LPT packing of components onto processors.
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	compProc := make([]int, len(sizes))
+	load := make([]int, k)
+	for _, c := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		compProc[c] = best
+		load[best] += sizes[c]
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = compProc[comp[v]]
+	}
+	return out
+}
+
+// AssignLevelRoundRobin deals the nodes of each level out to processors
+// round-robin — a classic level-synchronous parallelization that trades
+// heavy communication for perfect per-level balance.
+func AssignLevelRoundRobin(g *dag.Graph, k int) []int {
+	out := make([]int, g.N())
+	for _, level := range g.LevelSets() {
+		for i, v := range level {
+			out[v] = i % k
+		}
+	}
+	return out
+}
+
+// AssignTopoBlocks splits the topological order into k contiguous blocks,
+// one per processor — low communication for layered DAGs, no parallelism
+// for chains.
+func AssignTopoBlocks(g *dag.Graph, k int) []int {
+	n := g.N()
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	for i, v := range g.Topo() {
+		p := i * k / n
+		if p >= k {
+			p = k - 1
+		}
+		out[v] = p
+	}
+	return out
+}

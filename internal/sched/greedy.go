@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// SelectRule chooses how a greedy processor scores candidate nodes.
+type SelectRule int
+
+const (
+	// SelectCount scores a candidate by the number of its in-neighbors
+	// holding the processor's red pebbles.
+	SelectCount SelectRule = iota
+	// SelectFraction scores by the fraction of in-neighbors holding the
+	// processor's red pebbles (sources score 0 under both rules).
+	SelectFraction
+)
+
+func (s SelectRule) String() string {
+	if s == SelectFraction {
+		return "fraction"
+	}
+	return "count"
+}
+
+// TieBreak disambiguates equal greedy scores.
+type TieBreak int
+
+const (
+	// TieLowID prefers the smallest node ID.
+	TieLowID TieBreak = iota
+	// TieHighID prefers the largest node ID.
+	TieHighID
+)
+
+func (t TieBreak) String() string {
+	if t == TieHighID {
+		return "high"
+	}
+	return "low"
+}
+
+// EvictRule chooses the eviction victim when fast memory is full.
+// Regardless of rule, dead nodes (no uncomputed successors, not an
+// unsaved sink) are always evicted first since dropping them is free.
+type EvictRule int
+
+const (
+	// EvictLRU evicts the least recently touched red pebble.
+	EvictLRU EvictRule = iota
+	// EvictFewestUses evicts the red pebble with the fewest uncomputed
+	// successors remaining.
+	EvictFewestUses
+)
+
+func (e EvictRule) String() string {
+	if e == EvictFewestUses {
+		return "fewest"
+	}
+	return "lru"
+}
+
+// Greedy implements the greedy strategy class analyzed in Lemmas 3 and 4:
+// in every round, each processor p claims the yet-uncomputed ready node
+// with the best Select score for p, fetches missing inputs through slow
+// memory (writing them out from whichever processor holds them if
+// necessary), and all claimed nodes are computed in one parallel move.
+// Greedy never recomputes a node and spills live pebbles before eviction,
+// so it is a "non-idle greedy schedule" in the sense of Lemma 3.
+type Greedy struct {
+	Select SelectRule
+	Tie    TieBreak
+	Evict  EvictRule
+}
+
+// Name implements Scheduler.
+func (g Greedy) Name() string {
+	return fmt.Sprintf("greedy(%s,%s,%s)", g.Select, g.Tie, g.Evict)
+}
+
+// Schedule implements Scheduler.
+func (g Greedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	e := newGreedyEngine(in, g)
+	return e.run()
+}
+
+type greedyEngine struct {
+	in   *pebble.Instance
+	pol  Greedy
+	b    *pebble.Builder
+	n, k int
+
+	computed  []bool
+	remSuccs  []int // uncomputed successors per node
+	remPreds  []int // uncomputed predecessors per node (readiness)
+	ready     []dag.NodeID
+	readyPos  []int // position in ready slice, -1 if absent
+	lastTouch [][]int64
+	clock     int64
+	isSink    []bool
+	left      int // uncomputed nodes
+
+	// recompute, when non-nil, may satisfy a missing input by
+	// recomputing it (RecomputeGreedy); it returns false to fall back to
+	// the slow-memory path.
+	recompute func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool
+
+	// randomTie, when non-nil, replaces deterministic tie-breaking with
+	// uniform draws among maximum-score candidates (RandomRestartGreedy).
+	randomTie *rand.Rand
+}
+
+func newGreedyEngine(in *pebble.Instance, pol Greedy) *greedyEngine {
+	n, k := in.Graph.N(), in.K
+	e := &greedyEngine{
+		in: in, pol: pol, b: pebble.NewBuilder(in),
+		n: n, k: k,
+		computed: make([]bool, n),
+		remSuccs: make([]int, n),
+		remPreds: make([]int, n),
+		readyPos: make([]int, n),
+		isSink:   make([]bool, n),
+		left:     n,
+	}
+	e.lastTouch = make([][]int64, k)
+	for p := range e.lastTouch {
+		e.lastTouch[p] = make([]int64, n)
+	}
+	for v := 0; v < n; v++ {
+		e.remSuccs[v] = in.Graph.OutDegree(dag.NodeID(v))
+		e.remPreds[v] = in.Graph.InDegree(dag.NodeID(v))
+		e.readyPos[v] = -1
+	}
+	for _, s := range in.Graph.Sinks() {
+		e.isSink[s] = true
+	}
+	for v := 0; v < n; v++ {
+		if e.remPreds[v] == 0 {
+			e.pushReady(dag.NodeID(v))
+		}
+	}
+	return e
+}
+
+func (e *greedyEngine) pushReady(v dag.NodeID) {
+	e.readyPos[v] = len(e.ready)
+	e.ready = append(e.ready, v)
+}
+
+func (e *greedyEngine) dropReady(v dag.NodeID) {
+	pos := e.readyPos[v]
+	last := len(e.ready) - 1
+	e.ready[pos] = e.ready[last]
+	e.readyPos[e.ready[pos]] = pos
+	e.ready = e.ready[:last]
+	e.readyPos[v] = -1
+}
+
+// score returns the greedy score of candidate v for processor p.
+func (e *greedyEngine) score(p int, v dag.NodeID) float64 {
+	preds := e.in.Graph.Pred(v)
+	if len(preds) == 0 {
+		return 0
+	}
+	red := 0
+	for _, u := range preds {
+		if e.b.Config().Red[p].Contains(int(u)) {
+			red++
+		}
+	}
+	if e.pol.Select == SelectFraction {
+		return float64(red) / float64(len(preds))
+	}
+	return float64(red)
+}
+
+// pick returns the best unclaimed ready node for p, or -1.
+func (e *greedyEngine) pick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
+	best := dag.NodeID(-1)
+	bestScore := -1.0
+	for _, v := range e.ready {
+		if claimed[v] {
+			continue
+		}
+		sc := e.score(p, v)
+		better := sc > bestScore
+		if sc == bestScore && best >= 0 {
+			if e.pol.Tie == TieLowID {
+				better = v < best
+			} else {
+				better = v > best
+			}
+		}
+		if better {
+			best, bestScore = v, sc
+		}
+	}
+	return best
+}
+
+// dead reports whether u's red pebble on any processor can be dropped for
+// free: all successors computed, and either not a sink or already saved.
+func (e *greedyEngine) dead(u dag.NodeID) bool {
+	if e.remSuccs[u] > 0 {
+		return false
+	}
+	if e.isSink[u] && !e.b.Config().Blue.Contains(int(u)) {
+		return false
+	}
+	return true
+}
+
+// makeRoom evicts pebbles from p until at least want slots are free,
+// never touching pinned nodes. Live, unsaved victims are spilled (write)
+// before deletion.
+func (e *greedyEngine) makeRoom(p, want int, pinned map[dag.NodeID]bool) error {
+	for e.b.FreeSlots(p) < want {
+		victim := dag.NodeID(-1)
+		victimDead := false
+		victimBlue := false
+		var victimKey int64
+		cfg := e.b.Config()
+		cfg.Red[p].ForEach(func(i int) bool {
+			u := dag.NodeID(i)
+			if pinned[u] {
+				return true
+			}
+			d := e.dead(u)
+			bl := cfg.Blue.Contains(i)
+			var key int64
+			if e.pol.Evict == EvictLRU {
+				key = e.lastTouch[p][u]
+			} else {
+				key = int64(e.remSuccs[u])
+			}
+			// Preference order: dead > blue-backed > live; within a class,
+			// smaller key first.
+			better := false
+			switch {
+			case victim == -1:
+				better = true
+			case d != victimDead:
+				better = d
+			case bl != victimBlue:
+				better = bl
+			default:
+				better = key < victimKey
+			}
+			if better {
+				victim, victimDead, victimBlue, victimKey = u, d, bl, key
+			}
+			return true
+		})
+		if victim == -1 {
+			return fmt.Errorf("greedy: processor %d cannot free %d slots (r=%d too small for pinned set %d)",
+				p, want, e.in.R, len(pinned))
+		}
+		if !victimDead && !victimBlue {
+			e.b.Write(pebble.At(p, victim))
+		}
+		e.b.Delete(pebble.At(p, victim))
+	}
+	return nil
+}
+
+// fetch ensures all predecessors of v are red on p, spilling/reading
+// through slow memory as needed. Returns an error on broken invariants.
+func (e *greedyEngine) fetch(p int, v dag.NodeID) error {
+	preds := e.in.Graph.Pred(v)
+	pinned := make(map[dag.NodeID]bool, len(preds)+1)
+	for _, u := range preds {
+		pinned[u] = true
+	}
+	pinned[v] = true
+	cfg := e.b.Config()
+	for _, u := range preds {
+		if cfg.Red[p].Contains(int(u)) {
+			e.lastTouch[p][u] = e.clock
+			continue
+		}
+		if e.recompute != nil && !e.in.OneShot && e.recompute(p, u, pinned) {
+			e.lastTouch[p][u] = e.clock
+			continue
+		}
+		if !cfg.Blue.Contains(int(u)) {
+			// Some other processor must hold it red; make it blue first.
+			owner := -1
+			for q := 0; q < e.k; q++ {
+				if cfg.Red[q].Contains(int(u)) {
+					owner = q
+					break
+				}
+			}
+			if owner == -1 {
+				return fmt.Errorf("greedy: computed node %d has no pebble anywhere", u)
+			}
+			e.b.Write(pebble.At(owner, u))
+		}
+		if err := e.makeRoom(p, 1, pinned); err != nil {
+			return err
+		}
+		e.b.Read(pebble.At(p, u))
+		e.lastTouch[p][u] = e.clock
+	}
+	return e.makeRoom(p, 1, pinned)
+}
+
+func (e *greedyEngine) markComputed(v dag.NodeID) {
+	e.computed[v] = true
+	e.left--
+	e.dropReady(v)
+	for _, u := range e.in.Graph.Pred(v) {
+		e.remSuccs[u]--
+	}
+	for _, w := range e.in.Graph.Succ(v) {
+		e.remPreds[w]--
+		if e.remPreds[w] == 0 {
+			e.pushReady(w)
+		}
+	}
+}
+
+func (e *greedyEngine) run() (*pebble.Strategy, error) {
+	for e.left > 0 {
+		e.clock++
+		if len(e.ready) == 0 {
+			return nil, fmt.Errorf("greedy: no ready node with %d nodes uncomputed", e.left)
+		}
+		// Claim phase.
+		claimed := map[dag.NodeID]bool{}
+		targets := make([]dag.NodeID, e.k)
+		for p := 0; p < e.k; p++ {
+			if e.randomTie != nil {
+				targets[p] = e.randomPick(p, claimed)
+			} else {
+				targets[p] = e.pick(p, claimed)
+			}
+			if targets[p] >= 0 {
+				claimed[targets[p]] = true
+			}
+		}
+		// Fetch phase (sequential per processor; I/O moves are emitted as
+		// single-action moves — the analysis of Lemmas 3-4 does not rely
+		// on I/O batching).
+		for p := 0; p < e.k; p++ {
+			if targets[p] < 0 {
+				continue
+			}
+			if err := e.fetch(p, targets[p]); err != nil {
+				return nil, err
+			}
+		}
+		// Compute phase: one parallel move for all claimed nodes.
+		var acts []pebble.Action
+		for p := 0; p < e.k; p++ {
+			if targets[p] >= 0 {
+				acts = append(acts, pebble.At(p, targets[p]))
+			}
+		}
+		if len(acts) == 0 {
+			return nil, fmt.Errorf("greedy: stalled round with %d nodes uncomputed", e.left)
+		}
+		e.b.ComputeParallel(acts...)
+		for _, a := range acts {
+			e.lastTouch[a.Proc][a.Node] = e.clock
+			e.markComputed(a.Node)
+		}
+	}
+	// Save any sink that holds only red pebbles? Not needed: sinks keep
+	// their red pebble unless evicted, and eviction spills unsaved sinks.
+	return e.b.Strategy(), nil
+}

@@ -1,0 +1,297 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// Partitioned is a static owner-computes scheduler: an AssignFunc
+// partitions the nodes among the k processors; each processor pebbles its
+// own nodes in global topological order with exact Belady (furthest next
+// local use) eviction; values crossing the partition travel through slow
+// memory — the producer publishes (writes) them right after computing,
+// the consumer reads them on demand. Rounds batch one action per
+// processor into shared write, read and compute moves, so k-way
+// parallelism costs one move per round per move kind.
+type Partitioned struct {
+	Assign     AssignFunc
+	AssignName string
+}
+
+// Name implements Scheduler.
+func (p Partitioned) Name() string { return fmt.Sprintf("partitioned(%s)", p.AssignName) }
+
+// Schedule implements Scheduler.
+func (p Partitioned) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	assign := p.Assign(in.Graph, in.K)
+	if len(assign) != in.N() {
+		return nil, fmt.Errorf("partitioned: assignment covers %d of %d nodes", len(assign), in.N())
+	}
+	for v, a := range assign {
+		if a < 0 || a >= in.K {
+			return nil, fmt.Errorf("partitioned: node %d assigned to processor %d outside [0,%d)", v, a, in.K)
+		}
+	}
+	e := newPartEngine(in, assign)
+	return e.run()
+}
+
+type microOp struct {
+	kind pebble.OpKind
+	node dag.NodeID
+}
+
+type partEngine struct {
+	in     *pebble.Instance
+	b      *pebble.Builder
+	assign []int
+	k      int
+
+	order [][]dag.NodeID // per-processor nodes in global topo order
+	ptr   []int          // next index into order[p]
+	queue [][]microOp    // per-processor pending micro-ops for the current node
+
+	// uses[p][u] lists the positions in order[p] whose node has u as a
+	// predecessor; usePtr[p][u] indexes the first position not yet
+	// consumed — exact Belady next-use lookup.
+	uses          []map[dag.NodeID][]int
+	usePtr        []map[dag.NodeID]int
+	pinned        []map[dag.NodeID]bool
+	isSink        []bool
+	computedCount int
+	computed      []bool
+	crossOut      []bool // node has a successor owned by another processor
+}
+
+func newPartEngine(in *pebble.Instance, assign []int) *partEngine {
+	n, k := in.Graph.N(), in.K
+	e := &partEngine{
+		in: in, b: pebble.NewBuilder(in), assign: assign, k: k,
+		order: make([][]dag.NodeID, k), ptr: make([]int, k),
+		queue: make([][]microOp, k),
+		uses:  make([]map[dag.NodeID][]int, k), usePtr: make([]map[dag.NodeID]int, k),
+		pinned: make([]map[dag.NodeID]bool, k),
+		isSink: make([]bool, n), computed: make([]bool, n),
+		crossOut: make([]bool, n),
+	}
+	for p := 0; p < k; p++ {
+		e.uses[p] = map[dag.NodeID][]int{}
+		e.usePtr[p] = map[dag.NodeID]int{}
+		e.pinned[p] = map[dag.NodeID]bool{}
+	}
+	for _, v := range in.Graph.Topo() {
+		p := assign[v]
+		pos := len(e.order[p])
+		e.order[p] = append(e.order[p], v)
+		for _, u := range in.Graph.Pred(v) {
+			e.uses[p][u] = append(e.uses[p][u], pos)
+		}
+	}
+	for _, s := range in.Graph.Sinks() {
+		e.isSink[s] = true
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range in.Graph.Succ(dag.NodeID(v)) {
+			if assign[w] != assign[v] {
+				e.crossOut[v] = true
+				break
+			}
+		}
+	}
+	return e
+}
+
+// nextUse returns the position of the next use of u on processor p at or
+// after order position 'from', or a large sentinel if none remains.
+func (e *partEngine) nextUse(p int, u dag.NodeID, from int) int {
+	const inf = 1 << 30
+	us := e.uses[p][u]
+	i := e.usePtr[p][u]
+	for i < len(us) && us[i] < from {
+		i++
+	}
+	e.usePtr[p][u] = i
+	if i == len(us) {
+		return inf
+	}
+	return us[i]
+}
+
+// globallyDead reports whether every successor of u is computed.
+func (e *partEngine) globallyDead(u dag.NodeID) bool {
+	for _, w := range e.in.Graph.Succ(u) {
+		if !e.computed[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// planNext prepares the micro-op queue of processor p for its next node,
+// if its inputs are available. Returns false if p must stall this round.
+func (e *partEngine) planNext(p int) bool {
+	v := e.order[p][e.ptr[p]]
+	cfg := e.b.Config()
+	var ops []microOp
+	for _, u := range e.in.Graph.Pred(v) {
+		if cfg.Red[p].Contains(int(u)) {
+			continue
+		}
+		if !cfg.Blue.Contains(int(u)) {
+			return false // producer has not published u yet
+		}
+		ops = append(ops, microOp{pebble.OpRead, u})
+	}
+	ops = append(ops, microOp{pebble.OpCompute, v})
+	if e.crossOut[v] {
+		ops = append(ops, microOp{pebble.OpWrite, v})
+	}
+	e.queue[p] = ops
+	// Pin the inputs and output for the duration of this node.
+	pin := e.pinned[p]
+	for u := range pin {
+		delete(pin, u)
+	}
+	for _, u := range e.in.Graph.Pred(v) {
+		pin[u] = true
+	}
+	pin[v] = true
+	return true
+}
+
+// evictOne frees one slot on p by exact-Belady choice. Returns the write
+// action if the victim must be spilled first (nil otherwise), and whether
+// a victim was found.
+func (e *partEngine) evictOne(p int) (spill *pebble.Action, ok bool) {
+	cfg := e.b.Config()
+	const inf = 1 << 30
+	victim := dag.NodeID(-1)
+	victimFree := false
+	victimUse := -1
+	cfg.Red[p].ForEach(func(i int) bool {
+		u := dag.NodeID(i)
+		if e.pinned[p][u] {
+			return true
+		}
+		blue := cfg.Blue.Contains(i)
+		free := blue || (e.globallyDead(u) && (!e.isSink[u] || blue))
+		use := e.nextUse(p, u, e.ptr[p])
+		if e.isSink[u] && !blue {
+			use = inf // unsaved sinks are "needed forever": spill them last
+		}
+		better := false
+		switch {
+		case victim == -1:
+			better = true
+		case free != victimFree:
+			better = free
+		default:
+			better = use > victimUse
+		}
+		if better {
+			victim, victimFree, victimUse = u, free, use
+		}
+		return true
+	})
+	if victim == -1 {
+		return nil, false
+	}
+	if !victimFree && !cfg.Blue.Contains(int(victim)) {
+		// Live (or sink) and unsaved: must spill before deletion.
+		a := pebble.At(p, victim)
+		return &a, true
+	}
+	e.b.Delete(pebble.At(p, victim))
+	return nil, true
+}
+
+func (e *partEngine) run() (*pebble.Strategy, error) {
+	n := e.in.Graph.N()
+	for e.computedCount < n {
+		// Gather this round's action per processor.
+		var writes, reads, computes []pebble.Action
+		computedThisRound := []dag.NodeID{}
+		progress := false
+		for p := 0; p < e.k; p++ {
+			if len(e.queue[p]) == 0 {
+				if e.ptr[p] >= len(e.order[p]) {
+					continue // processor finished
+				}
+				if !e.planNext(p) {
+					continue // stalled on an unpublished input
+				}
+			}
+			op := e.queue[p][0]
+			switch op.kind {
+			case pebble.OpRead, pebble.OpCompute:
+				// Ensure a slot is available; a required spill consumes
+				// this processor's action for the round.
+				if e.b.FreeSlots(p) < 1 && !e.b.Config().Red[p].Contains(int(op.node)) {
+					spill, ok := e.evictOne(p)
+					if !ok {
+						return nil, fmt.Errorf("partitioned: processor %d wedged: no evictable pebble (r=%d)", p, e.in.R)
+					}
+					if spill != nil {
+						writes = append(writes, *spill)
+						progress = true
+						continue // retry the read/compute next round
+					}
+					// Free eviction happened; fall through to act now.
+				}
+				if op.kind == pebble.OpRead {
+					reads = append(reads, pebble.At(p, op.node))
+				} else {
+					computes = append(computes, pebble.At(p, op.node))
+					computedThisRound = append(computedThisRound, op.node)
+				}
+				e.queue[p] = e.queue[p][1:]
+				progress = true
+			case pebble.OpWrite:
+				writes = append(writes, pebble.At(p, op.node))
+				e.queue[p] = e.queue[p][1:]
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("partitioned: deadlock with %d of %d nodes computed", e.computedCount, n)
+		}
+		// Emit the round: spilled writes and publishes first, then reads,
+		// then computes. Spill deletions follow their writes immediately.
+		if len(writes) > 0 {
+			e.b.Write(writes...)
+			// Delete spilled victims now that they are safe in slow
+			// memory — but only those that were spills (not publishes).
+			// A publish keeps its red pebble (it is the freshly computed
+			// node, often needed by the same processor next).
+			var dels []pebble.Action
+			for _, w := range writes {
+				if e.pinned[w.Proc][w.Node] {
+					continue // publish of a pinned (just computed) node
+				}
+				dels = append(dels, w)
+			}
+			for _, d := range dels {
+				e.b.Delete(d)
+			}
+		}
+		if len(reads) > 0 {
+			e.b.Read(reads...)
+		}
+		if len(computes) > 0 {
+			e.b.ComputeParallel(computes...)
+		}
+		for _, v := range computedThisRound {
+			e.computed[v] = true
+			e.computedCount++
+		}
+		// Advance processors whose node is fully handled.
+		for p := 0; p < e.k; p++ {
+			if len(e.queue[p]) == 0 && e.ptr[p] < len(e.order[p]) && e.computed[e.order[p][e.ptr[p]]] {
+				e.ptr[p]++
+			}
+		}
+	}
+	return e.b.Strategy(), nil
+}

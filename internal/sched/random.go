@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// RandomRestartGreedy runs the greedy engine Restarts times with
+// randomized tie-breaking (every node choice among near-best scores is
+// drawn from a seeded RNG) and keeps the cheapest valid strategy. It is
+// the portfolio's stochastic member: on instances where deterministic
+// tie-breaking walks into a trap, some restart usually walks around it.
+type RandomRestartGreedy struct {
+	Select   SelectRule
+	Evict    EvictRule
+	Seed     int64
+	Restarts int // default 8
+}
+
+// Name implements Scheduler.
+func (r RandomRestartGreedy) Name() string {
+	return fmt.Sprintf("random-greedy(%s,%s,seed=%d)", r.Select, r.Evict, r.Seed)
+}
+
+// Schedule implements Scheduler.
+func (r RandomRestartGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	restarts := r.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	var best *pebble.Strategy
+	var bestCost int64 = -1
+	var lastErr error
+	for i := 0; i < restarts; i++ {
+		e := newGreedyEngine(in, Greedy{Select: r.Select, Evict: r.Evict})
+		e.randomTie = rand.New(rand.NewSource(rng.Int63()))
+		s, err := e.run()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, err := pebble.Replay(in, s)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if bestCost < 0 || rep.Cost < bestCost {
+			best, bestCost = s, rep.Cost
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: all %d random restarts failed: %w", restarts, lastErr)
+	}
+	return best, nil
+}
+
+// randomPick replaces the deterministic tie-break: collect all candidates
+// with the maximum score and draw uniformly.
+func (e *greedyEngine) randomPick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
+	bestScore := -1.0
+	var pool []dag.NodeID
+	for _, v := range e.ready {
+		if claimed[v] {
+			continue
+		}
+		sc := e.score(p, v)
+		switch {
+		case sc > bestScore:
+			bestScore = sc
+			pool = pool[:0]
+			pool = append(pool, v)
+		case sc == bestScore:
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		return -1
+	}
+	return pool[e.randomTie.Intn(len(pool))]
+}

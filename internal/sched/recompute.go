@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+// RecomputeGreedy extends Greedy with the recomputation option the paper's
+// model allows (Section 3.3): when a processor needs a missing input whose
+// recomputation closure is cheaper than streaming it from slow memory
+// (closure cost · computeCost < g), it recomputes the input instead of
+// reading it. On tail-less gadgets like the Figure 2 zipper this matches
+// the recomputation optimum that the pure greedy class — which never
+// recomputes — misses by a Θ(g) factor.
+type RecomputeGreedy struct {
+	Greedy
+	// MaxClosure bounds the size of a recomputation closure considered
+	// worthwhile (0 means 1: only sources are recomputed).
+	MaxClosure int
+}
+
+// Name implements Scheduler.
+func (r RecomputeGreedy) Name() string {
+	return fmt.Sprintf("recompute-%s", r.Greedy.Name())
+}
+
+// Schedule implements Scheduler.
+func (r RecomputeGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	e := newGreedyEngine(in, r.Greedy)
+	maxClosure := r.MaxClosure
+	if maxClosure <= 0 {
+		maxClosure = 1
+	}
+	e.recompute = func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool {
+		closure, boundary, ok := recomputeClosure(in.Graph, u, e.b.Config().Red[p], maxClosure)
+		if !ok || len(closure)*in.ComputeCost >= in.G {
+			return false
+		}
+		// The closure, its already-red boundary, and the pinned working
+		// set must all stay resident simultaneously (as a set union —
+		// u itself is in both the pinned set and the closure).
+		union := make(map[dag.NodeID]bool, len(pinned)+len(closure)+len(boundary))
+		for v := range pinned {
+			union[v] = true
+		}
+		for _, v := range closure {
+			union[v] = true
+		}
+		for _, v := range boundary {
+			union[v] = true
+		}
+		if len(union) > in.R {
+			return false
+		}
+		// Closure nodes must stay resident while later closure nodes
+		// consume them, and the boundary must not be evicted either, so
+		// both join the pinned set for the duration.
+		pinAll := make(map[dag.NodeID]bool, len(union))
+		for v := range pinned {
+			pinAll[v] = true
+		}
+		for _, v := range boundary {
+			pinAll[v] = true
+		}
+		for _, w := range closure {
+			if err := e.makeRoom(p, 1, pinAll); err != nil {
+				return false
+			}
+			e.b.Compute(p, w)
+			e.lastTouch[p][w] = e.clock
+			pinAll[w] = true
+		}
+		// Drop intermediate closure nodes (everything but u itself).
+		for _, w := range closure {
+			if w != u && !pinned[w] {
+				e.b.DropRed(p, w)
+			}
+		}
+		return true
+	}
+	return e.run()
+}
+
+// recomputeClosure returns a topologically ordered list of uncached
+// ancestors (plus u itself) that suffices to recompute u on a processor
+// currently holding the red set 'have', together with the boundary: the
+// already-red nodes the closure reads. Returns ok=false if the closure
+// exceeds max nodes.
+func recomputeClosure(g *dag.Graph, u dag.NodeID, have interface{ Contains(int) bool }, max int) (closure, boundary []dag.NodeID, ok bool) {
+	needed := map[dag.NodeID]bool{}
+	onBoundary := map[dag.NodeID]bool{}
+	var visit func(v dag.NodeID) bool
+	visit = func(v dag.NodeID) bool {
+		if needed[v] {
+			return true
+		}
+		if have.Contains(int(v)) {
+			onBoundary[v] = true
+			return true
+		}
+		if len(needed) >= max {
+			return false
+		}
+		needed[v] = true
+		for _, w := range g.Pred(v) {
+			if !visit(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if !visit(u) {
+		return nil, nil, false
+	}
+	// Topological order restricted to the closure.
+	for _, v := range g.Topo() {
+		if needed[v] {
+			closure = append(closure, v)
+		}
+	}
+	for v := range onBoundary {
+		boundary = append(boundary, v)
+	}
+	return closure, boundary, true
+}

@@ -1,0 +1,44 @@
+// Package sched provides schedulers that produce pebbling strategies for
+// MPP instances:
+//
+//   - Baseline: the naive strategy from the proof of Lemma 1, establishing
+//     the (g·(Δ_in+1)+1)·n upper bound.
+//   - Greedy: the paper's greedy class from Lemma 4 — each processor
+//     repeatedly computes the node with the most (or largest fraction of)
+//     in-neighbors holding its red pebbles — with pluggable tie-breaking
+//     and eviction policies.
+//   - Partitioned: a static owner-computes scheduler: nodes are assigned
+//     to processors by a partition function, each processor pebbles its
+//     nodes in topological order with exact Belady eviction, and
+//     cross-processor values travel through slow memory.
+//
+// All schedulers return strategies that pass pebble.Replay; experiments
+// always re-validate.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/pebble"
+)
+
+// Scheduler produces a pebbling strategy for an instance.
+type Scheduler interface {
+	// Name identifies the scheduler (and its policies) in reports.
+	Name() string
+	// Schedule computes a valid pebbling strategy for the instance.
+	Schedule(in *pebble.Instance) (*pebble.Strategy, error)
+}
+
+// Run schedules and replays in one step, returning the validated report.
+func Run(s Scheduler, in *pebble.Instance) (*pebble.Report, error) {
+	strat, err := s.Schedule(in)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", s.Name(), err)
+	}
+	rep, err := pebble.Replay(in, strat)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s produced invalid strategy: %w", s.Name(), err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+func setup(t *testing.T) (*pebble.Instance, *pebble.Strategy, *pebble.Report) {
+	t.Helper()
+	in := pebble.MustInstance(gen.Chain(5), pebble.MPP(2, 2, 3))
+	s, err := sched.Baseline{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pebble.Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, s, rep
+}
+
+func TestSummary(t *testing.T) {
+	in, _, rep := setup(t)
+	s := Summary(in, rep)
+	for _, want := range []string{"cost=", "io=", "surplus="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPerProcessor(t *testing.T) {
+	_, _, rep := setup(t)
+	var b strings.Builder
+	PerProcessor(&b, rep)
+	out := b.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Errorf("missing processor rows: %s", out)
+	}
+}
+
+func TestTimelineLimit(t *testing.T) {
+	_, s, _ := setup(t)
+	var b strings.Builder
+	Timeline(&b, s, 3)
+	if got := strings.Count(b.String(), "\n"); got != 4 { // 3 moves + elision line
+		t.Errorf("timeline lines = %d, want 4: %s", got, b.String())
+	}
+	var full strings.Builder
+	Timeline(&full, s, 0)
+	if strings.Contains(full.String(), "more moves") {
+		t.Error("limit 0 should print everything")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	_, s, _ := setup(t)
+	out := Gantt(s, 2, 50)
+	if !strings.HasPrefix(out, "p0 ") || !strings.Contains(out, "\np1 ") {
+		t.Errorf("gantt shape wrong: %q", out)
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "W") {
+		t.Errorf("gantt missing ops: %q", out)
+	}
+}

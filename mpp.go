@@ -1,0 +1,78 @@
+// Package repro is a from-scratch Go implementation of the multiprocessor
+// red-blue pebble game (MPP) of Böhnlein, Papp and Yzelman, "Red-Blue
+// Pebbling with Multiple Processors: Time, Communication and Memory
+// Trade-offs" (SPAA 2024), together with every substrate the paper's
+// results rest on: the single-processor game (SPP) and its one-shot
+// variant, DAG generators for all proof gadgets and classic workloads,
+// schedulers (the Lemma 3/4 greedy class, an owner-computes partitioned
+// scheduler with exact Belady eviction, the Lemma 1 baseline), exact
+// optimum solvers for small instances, the analytic bound library, the
+// BSP DAG-scheduling equivalence, the Theorem 2 clique reduction, and an
+// experiment harness regenerating every figure and quantitative lemma.
+//
+// This root package is a thin facade re-exporting the types most
+// programs need; the implementation lives under internal/ (one package
+// per subsystem — see DESIGN.md for the inventory):
+//
+//	dag      computational DAGs
+//	gen      DAG families and proof gadgets
+//	pebble   the pebble game itself: instances, moves, replay/validation
+//	sched    strategy-producing schedulers
+//	opt      exact solvers (configuration-space search, zero-I/O decision)
+//	bounds   analytic lower/upper bounds
+//	proofs   the explicit strategies the paper's proofs construct
+//	bsp      BSP DAG scheduling (the r = ∞ specialization)
+//	hardness NP-hardness reduction machinery (Theorem 2, Lemma 11)
+//	exp      experiment harness (E01…E16)
+//
+// Quick start:
+//
+//	g, _ := gen.Zipper(8, 100, 0)
+//	in := pebble.MustInstance(g, pebble.MPP(2, 10, 4))
+//	rep, err := sched.Run(sched.Greedy{}, in)
+//	fmt.Println(rep.Cost, rep.IOActions)
+package repro
+
+import (
+	"repro/internal/dag"
+	"repro/internal/exp"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+// Re-exported core types, so small programs can use the facade alone.
+type (
+	// Graph is a computational DAG (see internal/dag).
+	Graph = dag.Graph
+	// NodeID identifies a DAG node.
+	NodeID = dag.NodeID
+	// Params are the MPP game parameters (k, r, g, compute cost, one-shot).
+	Params = pebble.Params
+	// Instance couples a DAG with game parameters.
+	Instance = pebble.Instance
+	// Strategy is a sequence of pebbling moves.
+	Strategy = pebble.Strategy
+	// Report is the validated cost breakdown of a strategy.
+	Report = pebble.Report
+	// Scheduler produces strategies for instances.
+	Scheduler = sched.Scheduler
+	// Experiment regenerates one paper artifact.
+	Experiment = exp.Experiment
+)
+
+// MPP returns the paper's standard parameters: k processors, r red
+// pebbles each, I/O cost g, compute cost 1.
+func MPP(k, r, g int) Params { return pebble.MPP(k, r, g) }
+
+// SPP returns classic Hong–Kung single-processor parameters (compute
+// steps free).
+func SPP(r, g int) Params { return pebble.SPP(r, g) }
+
+// NewInstance validates parameters against a DAG.
+func NewInstance(g *Graph, p Params) (*Instance, error) { return pebble.NewInstance(g, p) }
+
+// Replay validates a strategy and returns its cost report.
+func Replay(in *Instance, s *Strategy) (*Report, error) { return pebble.Replay(in, s) }
+
+// Experiments returns the full experiment registry (E01…E16).
+func Experiments() []Experiment { return exp.Registry() }
