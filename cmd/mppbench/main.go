@@ -1,0 +1,245 @@
+// Command mppbench measures the engine's hot paths — the exact solvers,
+// the replay engine, the schedulers — plus the full experiment suite in
+// quick mode, and emits a machine-readable BENCH_<date>.json snapshot:
+// one point of the repository's performance trajectory. Re-run it after
+// perf work and diff the JSON against the committed snapshots.
+//
+// Usage:
+//
+//	mppbench                     # write BENCH_<today>.json
+//	mppbench -out -              # JSON to stdout
+//	mppbench -quick              # shorter sampling windows
+//	mppbench -cpuprofile cpu.out # profile the whole run
+//
+// Per benchmark the snapshot records ns/op, bytes/op, allocs/op and —
+// for the exact solvers — states/sec, the solver-independent throughput
+// number the experiments care about (how much of the exponential search
+// space a second buys).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/hardness"
+	"repro/internal/opt"
+	"repro/internal/pebble"
+	"repro/internal/prof"
+	"repro/internal/sched"
+)
+
+type record struct {
+	Name         string  `json:"name"`
+	Group        string  `json:"group"` // "solver" | "engine" | "experiment"
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+}
+
+type snapshot struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	Quick      bool     `json:"quick"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+// measure runs fn repeatedly for at least minTime (at least once) and
+// reports per-iteration wall time and allocation statistics from the
+// runtime's allocation counters. fn returns the number of solver states
+// it expanded (0 when states/sec is meaningless for the workload).
+func measure(name, group string, minTime time.Duration, fn func() (states int, err error)) (record, error) {
+	if _, err := fn(); err != nil { // warm-up, and fail fast
+		return record{}, fmt.Errorf("%s: %w", name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	iters, states := 0, 0
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		st, err := fn()
+		if err != nil {
+			return record{}, fmt.Errorf("%s: %w", name, err)
+		}
+		states += st
+		iters++
+		elapsed = time.Since(start)
+		if elapsed >= minTime {
+			break
+		}
+	}
+	runtime.ReadMemStats(&after)
+	rec := record{
+		Name:        name,
+		Group:       group,
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+	if states > 0 && elapsed > 0 {
+		rec.StatesPerSec = float64(states) / elapsed.Seconds()
+	}
+	return rec, nil
+}
+
+func main() {
+	out := flag.String("out", "", `output file ("-" = stdout; default BENCH_<date>.json)`)
+	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
+	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
+	minTime := 300 * time.Millisecond
+	if *quick {
+		minTime = 50 * time.Millisecond
+	}
+
+	snap := snapshot{
+		Schema:    "mpp-bench/v1",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	add := func(rec record, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, rec)
+		fmt.Fprintf(os.Stderr, "%-36s %12d ns/op %10d B/op %8d allocs/op",
+			rec.Group+"/"+rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		if rec.StatesPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %12.0f states/s", rec.StatesPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	// --- solver group: the exact-search hot paths ---------------------
+	gridK1 := pebble.MustInstance(gen.Grid2D(3, 3), pebble.MPP(1, 4, 2))
+	add(measure("exact-grid3x3-k1", "solver", minTime, func() (int, error) {
+		res, err := opt.Exact(gridK1, 10_000_000)
+		if err != nil {
+			return 0, err
+		}
+		return res.States, nil
+	}))
+	gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
+	add(measure("exact-grid2x3-k2", "solver", minTime, func() (int, error) {
+		res, err := opt.Exact(gridK2, 10_000_000)
+		if err != nil {
+			return 0, err
+		}
+		return res.States, nil
+	}))
+	add(measure("exact-witness-grid2x3-k2", "solver", minTime, func() (int, error) {
+		res, err := opt.ExactWithStrategy(gridK2, 10_000_000)
+		if err != nil {
+			return 0, err
+		}
+		return res.States, nil
+	}))
+	pyr := gen.Pyramid(6)
+	add(measure("zeroio-pyramid6-r8", "solver", minTime, func() (int, error) {
+		res, err := opt.ZeroIO(pyr, 8, 10_000_000)
+		if err != nil {
+			return 0, err
+		}
+		return res.States, nil
+	}))
+	// The Theorem 2 reduction on C4 (no 3-clique): the search must
+	// exhaust, which is the expensive direction E12/E13 depend on.
+	c4 := hardness.MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	red, err := hardness.BuildCliqueReduction(c4, 3)
+	if err != nil {
+		fatal(err)
+	}
+	add(measure("zeroiobig-clique-C4-q3", "solver", minTime, func() (int, error) {
+		res, err := opt.ZeroIOBig(red.Graph, red.R, 10_000_000)
+		if err != nil {
+			return 0, err
+		}
+		if res.Feasible {
+			return 0, fmt.Errorf("C4 reduction unexpectedly feasible")
+		}
+		return res.States, nil
+	}))
+
+	// --- engine group: replay and scheduling --------------------------
+	zg, ids := gen.Zipper(8, 200, 0)
+	zin := pebble.MustInstance(zg, pebble.MPP(1, 2*8+2, 4))
+	bld := pebble.NewBuilder(zin)
+	for _, u := range append(append([]dag.NodeID{}, ids.S1...), ids.S2...) {
+		bld.Compute(0, u)
+	}
+	for i, v := range ids.Chain {
+		bld.Compute(0, v)
+		if i > 0 {
+			bld.DropRed(0, ids.Chain[i-1])
+		}
+	}
+	zstrat := bld.Strategy()
+	add(measure("replay-zipper8x200", "engine", minTime, func() (int, error) {
+		_, err := pebble.Replay(zin, zstrat)
+		return 0, err
+	}))
+	rg := gen.RandomDAG(256, 0.05, 4, 7)
+	rin := pebble.MustInstance(rg, pebble.MPP(4, rg.MaxInDegree()+3, 3))
+	add(measure("greedy-random-n256-k4", "engine", minTime, func() (int, error) {
+		_, err := sched.Run(sched.Greedy{}, rin)
+		return 0, err
+	}))
+
+	// --- experiment group: the full suite, quick sizing, one pass -----
+	for _, e := range exp.Registry() {
+		e := e
+		add(measure(e.ID+"-quick", "experiment", 0, func() (int, error) {
+			tab, err := e.Run(exp.Config{Quick: true})
+			if err != nil {
+				return 0, err
+			}
+			if !tab.Pass() {
+				return 0, fmt.Errorf("%s shape checks failed", e.ID)
+			}
+			return 0, nil
+		}))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mppbench: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mppbench:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -27,6 +28,12 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	jobs := flag.Int("j", 1, "run experiments concurrently on up to this many workers (output stays in ID order)")
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mppexp:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range exp.Registry() {
@@ -43,6 +50,7 @@ func main() {
 			e, ok := exp.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "mppexp: unknown experiment %q (try -list)\n", id)
+				stopProf()
 				os.Exit(2)
 			}
 			selected = append(selected, e)
@@ -104,6 +112,7 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "mppexp: %d experiment(s) failed\n", failures)
+		stopProf()
 		os.Exit(1)
 	}
 }

@@ -16,10 +16,15 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/pebble"
+	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
+
+// stopProf flushes any active profiles; installed by main, called on
+// every exit path (fatal bypasses defers via os.Exit).
+var stopProf = func() {}
 
 func main() {
 	dagSpec := flag.String("dag", "fft:4", "DAG specification: "+spec.DAGSyntax)
@@ -33,6 +38,12 @@ func main() {
 	save := flag.String("save", "", "write the (last) strategy as JSON to this file")
 	load := flag.String("load", "", "skip scheduling; validate and report the JSON strategy in this file")
 	flag.Parse()
+	stop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopProf = stop
+	defer stopProf()
 
 	g, err := spec.ParseDAG(*dagSpec)
 	if err != nil {
@@ -122,5 +133,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mppsched:", err)
+	stopProf()
 	os.Exit(1)
 }

@@ -1,0 +1,173 @@
+// Package hashtab provides an open-addressing hash table keyed by
+// fixed-width []uint64 words, the state-identity structure of the exact
+// solvers. A packed pebbling configuration (or computed-set bitset) is a
+// short run of words; hashing those words directly removes the per-state
+// string-key allocation a map[string] requires and keeps every key in one
+// contiguous arena.
+//
+// The table is insert-only (no deletion, hence no tombstones): search
+// memoization and dist maps only ever grow. Each inserted key receives a
+// dense, stable index 0,1,2,…, so callers keep their values in plain
+// slices indexed by the returned handle — the table itself stores no
+// values. The map-backed Ref type implements the identical contract and
+// serves as the property-test oracle.
+package hashtab
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the key words: FNV-1a over each word,
+// finished with a splitmix64-style avalanche so that keys differing only
+// in high bits still spread over small power-of-two slot arrays.
+func Hash(key []uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, w := range key {
+		h ^= w
+		h *= fnvPrime
+	}
+	// Avalanche finisher (splitmix64): FNV alone mixes low bits poorly
+	// for word-granular input; the masked slot index needs every input
+	// bit to reach the low bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Table maps fixed-width []uint64 keys to dense indices via linear-probe
+// open addressing. The zero value is not usable; call New.
+type Table struct {
+	wpk   int      // words per key
+	keys  []uint64 // arena: key i occupies keys[i*wpk : (i+1)*wpk]
+	slots []int32  // slot array: -1 = empty, else key index
+	mask  uint64   // len(slots)-1, len(slots) a power of two
+	limit int      // grow when Len() reaches this (¾ load)
+}
+
+// New returns an empty table for keys of wordsPerKey words, pre-sized to
+// hold about capacityHint keys without growing.
+func New(wordsPerKey, capacityHint int) *Table {
+	if wordsPerKey <= 0 {
+		panic("hashtab: wordsPerKey must be positive")
+	}
+	slots := 16
+	for slots*3/4 < capacityHint {
+		slots *= 2
+	}
+	t := &Table{wpk: wordsPerKey}
+	t.initSlots(slots)
+	if capacityHint > 0 {
+		t.keys = make([]uint64, 0, capacityHint*wordsPerKey)
+	}
+	return t
+}
+
+func (t *Table) initSlots(n int) {
+	t.slots = make([]int32, n)
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	t.mask = uint64(n - 1)
+	t.limit = n * 3 / 4
+}
+
+// Len returns the number of distinct keys inserted.
+func (t *Table) Len() int { return len(t.keys) / t.wpk }
+
+// WordsPerKey returns the fixed key width in words.
+func (t *Table) WordsPerKey() int { return t.wpk }
+
+// Key returns the stored words of key i as a view into the arena. The
+// view is invalidated by the next Insert (the arena may move); callers
+// needing the key across inserts must copy it.
+func (t *Table) Key(i int) []uint64 {
+	return t.keys[i*t.wpk : (i+1)*t.wpk : (i+1)*t.wpk]
+}
+
+func (t *Table) keyEqual(i int, key []uint64) bool {
+	stored := t.keys[i*t.wpk : (i+1)*t.wpk]
+	for j, w := range key {
+		if stored[j] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the index of key, or (-1, false) when absent. len(key)
+// must equal WordsPerKey. Find never allocates.
+func (t *Table) Find(key []uint64) (int, bool) {
+	t.checkWidth(key)
+	slot := Hash(key) & t.mask
+	for {
+		idx := t.slots[slot]
+		if idx < 0 {
+			return -1, false
+		}
+		if t.keyEqual(int(idx), key) {
+			return int(idx), true
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// Insert returns the index of key, inserting it if absent. existed
+// reports whether the key was already present. The key words are copied
+// into the table's arena; the caller's slice is not retained. Inserting
+// an already-present key never allocates.
+func (t *Table) Insert(key []uint64) (idx int, existed bool) {
+	t.checkWidth(key)
+	slot := Hash(key) & t.mask
+	for {
+		i := t.slots[slot]
+		if i < 0 {
+			break
+		}
+		if t.keyEqual(int(i), key) {
+			return int(i), true
+		}
+		slot = (slot + 1) & t.mask
+	}
+	n := t.Len()
+	if n >= t.limit {
+		t.rehash(len(t.slots) * 2)
+		// The target slot moved; re-probe in the fresh slot array.
+		slot = Hash(key) & t.mask
+		for t.slots[slot] >= 0 {
+			slot = (slot + 1) & t.mask
+		}
+	}
+	t.keys = append(t.keys, key...)
+	t.slots[slot] = int32(n)
+	return n, false
+}
+
+func (t *Table) rehash(newSize int) {
+	t.initSlots(newSize)
+	for i, n := 0, t.Len(); i < n; i++ {
+		slot := Hash(t.Key(i)) & t.mask
+		for t.slots[slot] >= 0 {
+			slot = (slot + 1) & t.mask
+		}
+		t.slots[slot] = int32(i)
+	}
+}
+
+// Reset drops every key while keeping the allocated capacity, so a table
+// can be reused across searches without reallocating.
+func (t *Table) Reset() {
+	t.keys = t.keys[:0]
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+}
+
+func (t *Table) checkWidth(key []uint64) {
+	if len(key) != t.wpk {
+		panic("hashtab: key width mismatch")
+	}
+}

@@ -1,0 +1,90 @@
+package hashtab
+
+// Ref is a map[string]-backed reference implementation of Table's exact
+// contract: insert-only, fixed key width, dense stable indices. It exists
+// as the correctness oracle — property tests drive a Table and a Ref with
+// the same operation sequence and require identical answers, and the
+// exact solvers run against either through the same seam so end-to-end
+// results can be compared byte for byte. Not built under any tag: the
+// oracle must always compile so equivalence tests run in every CI pass.
+type Ref struct {
+	wpk  int
+	m    map[string]int
+	keys []uint64
+}
+
+// NewRef returns an empty reference table for keys of wordsPerKey words.
+func NewRef(wordsPerKey int) *Ref {
+	if wordsPerKey <= 0 {
+		panic("hashtab: wordsPerKey must be positive")
+	}
+	return &Ref{wpk: wordsPerKey, m: make(map[string]int)}
+}
+
+func (r *Ref) stringKey(key []uint64) string {
+	if len(key) != r.wpk {
+		panic("hashtab: key width mismatch")
+	}
+	buf := make([]byte, 0, 8*len(key))
+	for _, w := range key {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(buf)
+}
+
+// Len returns the number of distinct keys inserted.
+func (r *Ref) Len() int { return len(r.keys) / r.wpk }
+
+// WordsPerKey returns the fixed key width in words.
+func (r *Ref) WordsPerKey() int { return r.wpk }
+
+// Key returns the stored words of key i.
+func (r *Ref) Key(i int) []uint64 {
+	return r.keys[i*r.wpk : (i+1)*r.wpk : (i+1)*r.wpk]
+}
+
+// Find returns the index of key, or (-1, false) when absent.
+func (r *Ref) Find(key []uint64) (int, bool) {
+	idx, ok := r.m[r.stringKey(key)]
+	if !ok {
+		return -1, false
+	}
+	return idx, true
+}
+
+// Insert returns the index of key, inserting it if absent.
+func (r *Ref) Insert(key []uint64) (idx int, existed bool) {
+	s := r.stringKey(key)
+	if i, ok := r.m[s]; ok {
+		return i, true
+	}
+	n := r.Len()
+	r.m[s] = n
+	r.keys = append(r.keys, key...)
+	return n, false
+}
+
+// Reset drops every key.
+func (r *Ref) Reset() {
+	r.m = make(map[string]int)
+	r.keys = r.keys[:0]
+}
+
+// Index is the seam shared by Table and Ref: the operations the solvers
+// need from a state-identity table. Both implementations satisfy it, so
+// a search can be run twice — once per implementation — and its results
+// compared exactly.
+type Index interface {
+	Len() int
+	WordsPerKey() int
+	Key(i int) []uint64
+	Find(key []uint64) (int, bool)
+	Insert(key []uint64) (idx int, existed bool)
+	Reset()
+}
+
+var (
+	_ Index = (*Table)(nil)
+	_ Index = (*Ref)(nil)
+)

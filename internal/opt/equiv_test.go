@@ -1,0 +1,202 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/hardness"
+	"repro/internal/pebble"
+)
+
+// These tests lock the allocation-free search core to the map-backed
+// oracle: the same traversal run against hashtab.Ref must return
+// byte-identical results. Any divergence means the open-addressing table
+// changed state identity (a hash/equality bug), which is exactly the
+// class of bug a perf rewrite can introduce silently.
+
+// zooCases is the DAG zoo × parameter grid the equivalence tests sweep.
+func zooCases() []struct {
+	name string
+	g    *dag.Graph
+	p    pebble.Params
+} {
+	return []struct {
+		name string
+		g    *dag.Graph
+		p    pebble.Params
+	}{
+		{"chain5", gen.Chain(5), pebble.MPP(1, 2, 3)},
+		{"2chains-k1", gen.IndependentChains(2, 3), pebble.MPP(1, 2, 3)},
+		{"2chains-k2", gen.IndependentChains(2, 3), pebble.MPP(2, 2, 3)},
+		{"intree-d2", gen.BinaryInTree(2), pebble.MPP(2, 3, 3)},
+		{"grid2x3", gen.Grid2D(2, 3), pebble.MPP(2, 3, 2)},
+		{"grid3x3-k1", gen.Grid2D(3, 3), pebble.MPP(1, 4, 2)},
+		{"pyramid3", gen.Pyramid(3), pebble.MPP(1, 5, 2)},
+		{"oneshot-chain", gen.Chain(4), pebble.OneShotSPP(2, 2)},
+		{"spp-free-compute", gen.Grid2D(2, 2), pebble.SPP(3, 2)},
+		{"twolayer", gen.TwoLayerRandom(3, 3, 0.5, 6), pebble.MPP(2, 4, 3)},
+	}
+}
+
+func TestExactTableMatchesOracleZoo(t *testing.T) {
+	for _, c := range zooCases() {
+		in := pebble.MustInstance(c.g, c.p)
+		got, err := Exact(in, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want, err := ExactOracle(in, budget)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", c.name, err)
+		}
+		if got.Cost != want.Cost || got.States != want.States {
+			t.Errorf("%s: table (cost %d, states %d) ≠ oracle (cost %d, states %d)",
+				c.name, got.Cost, got.States, want.Cost, want.States)
+		}
+		// Witness mode runs without shade canonicalization — a different
+		// state space, so it gets its own byte-identical comparison.
+		gw, err := ExactWithStrategy(in, budget)
+		if err != nil {
+			t.Fatalf("%s: witness: %v", c.name, err)
+		}
+		ww, err := ExactWithStrategyOracle(in, budget)
+		if err != nil {
+			t.Fatalf("%s: witness oracle: %v", c.name, err)
+		}
+		if gw.Cost != ww.Cost || gw.States != ww.States {
+			t.Errorf("%s: witness table (cost %d, states %d) ≠ oracle (cost %d, states %d)",
+				c.name, gw.Cost, gw.States, ww.Cost, ww.States)
+		}
+		if gw.Cost != got.Cost {
+			t.Errorf("%s: witness cost %d ≠ plain cost %d", c.name, gw.Cost, got.Cost)
+		}
+	}
+}
+
+func TestExactTableMatchesOracleQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := gen.RandomDAG(n, 0.3, 2, seed)
+		k := 1 + rng.Intn(2)
+		r := g.MaxInDegree() + 1 + rng.Intn(2)
+		io := 1 + rng.Intn(3)
+		in := pebble.MustInstance(g, pebble.MPP(k, r, io))
+		got, err := Exact(in, budget)
+		if err != nil {
+			return false
+		}
+		want, err := ExactOracle(in, budget)
+		if err != nil {
+			return false
+		}
+		if got.Cost != want.Cost || got.States != want.States {
+			t.Logf("seed %d: table (%d, %d) ≠ oracle (%d, %d)",
+				seed, got.Cost, got.States, want.Cost, want.States)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameOrder(a, b []dag.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkZeroIOBigEquiv(t *testing.T, name string, g *dag.Graph, r int, max int) {
+	t.Helper()
+	got, err := ZeroIOBig(g, r, max)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	want, err := ZeroIOBigOracle(g, r, max)
+	if err != nil {
+		t.Fatalf("%s: oracle: %v", name, err)
+	}
+	if got.Feasible != want.Feasible || got.States != want.States || !sameOrder(got.Order, want.Order) {
+		t.Errorf("%s: table (feasible %v, states %d) ≠ oracle (feasible %v, states %d)",
+			name, got.Feasible, got.States, want.Feasible, want.States)
+	}
+}
+
+func TestZeroIOBigMatchesOracleZoo(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *dag.Graph
+		r    int
+	}{
+		{"chain10-r2", gen.Chain(10), 2},
+		{"chain10-r1", gen.Chain(10), 1},
+		{"intree3-r5", gen.BinaryInTree(3), 5},
+		{"intree3-r4", gen.BinaryInTree(3), 4},
+		{"grid3x3-r4", gen.Grid2D(3, 3), 4},
+		{"pyramid4-r6", gen.Pyramid(4), 6},
+		{"pyramid4-r5", gen.Pyramid(4), 5},
+	}
+	for _, c := range cases {
+		checkZeroIOBigEquiv(t, c.name, c.g, c.r, budget)
+	}
+}
+
+// TestZeroIOBigMatchesOracleCliquePairs runs the equivalence on the E12
+// matched clique pairs — the Theorem 2 reduction instances whose >62-node
+// DAGs and multi-word memo keys exercise the table the hardest.
+func TestZeroIOBigMatchesOracleCliquePairs(t *testing.T) {
+	pairs := []struct {
+		name  string
+		graph *hardness.UGraph
+	}{
+		{"triangle+pendant", hardness.MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}})},
+		{"C4", hardness.MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+		{"bull", hardness.MustUGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}})},
+		{"C5", hardness.MustUGraph(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})},
+	}
+	const q = 3
+	for _, pc := range pairs {
+		red, err := hardness.BuildCliqueReduction(pc.graph, q)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		wantFeasible := pc.graph.HasClique(q)
+		got, err := ZeroIOBig(red.Graph, red.R, 8_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.name, err)
+		}
+		if got.Feasible != wantFeasible {
+			t.Errorf("%s: feasible %v, want %v", pc.name, got.Feasible, wantFeasible)
+		}
+		checkZeroIOBigEquiv(t, pc.name, red.Graph, red.R, 8_000_000)
+	}
+}
+
+// TestExactAllocationBudget pins the tentpole's point: a full Exact run
+// on the grid benchmark instance must stay far below the old per-run
+// allocation count (~13k allocs with the map/heap core). The bound is
+// generous — it exists to catch a regression back to per-state
+// allocation, not to freeze the exact constant.
+func TestExactAllocationBudget(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	in := pebble.MustInstance(g, pebble.MPP(1, 4, 2))
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Exact(in, 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2000 {
+		t.Errorf("Exact on grid3x3 allocates %v times per run; the allocation-free core should stay ≤ 2000", allocs)
+	}
+}

@@ -8,14 +8,21 @@
 //     pebbling of I/O cost 0 exist?" — the question made NP-hard by
 //     Theorem 2. It exploits that cost-0 one-shot pebblings are fully
 //     described by a compute permutation with forced deletions.
+//
+// The search core is allocation-free on the hot path: states are packed
+// uint64 words stored directly in an open-addressing hashtab.Table (the
+// arena doubles as the state store), the frontier is a monotone bucket
+// queue, and candidate expansion reuses scratch buffers — a rejected
+// candidate touches the heap zero times. A map-backed oracle run of the
+// same search (see oracle.go) locks the results byte-for-byte.
 package opt
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/dag"
+	"repro/internal/hashtab"
 	"repro/internal/pebble"
 )
 
@@ -45,17 +52,19 @@ type Result struct {
 // requirement still holds), and one-shot mode (the computed set joins the
 // search state).
 func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, false)
+	return exact(in, maxStates, false, nil)
 }
 
 // ExactWithStrategy is Exact additionally reconstructing one optimal
 // strategy (via parent pointers); the result replays to exactly the
 // optimal cost. Costs slightly more memory per state.
 func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, true)
+	return exact(in, maxStates, true, nil)
 }
 
-func exact(in *pebble.Instance, maxStates int, witness bool) (*Result, error) {
+// exact runs the search. tab overrides the state table (tests pass the
+// map-backed hashtab.Ref oracle); nil selects the open-addressing table.
+func exact(in *pebble.Instance, maxStates int, witness bool, tab hashtab.Index) (*Result, error) {
 	n := in.Graph.N()
 	if n == 0 {
 		res := &Result{Cost: 0}
@@ -67,62 +76,17 @@ func exact(in *pebble.Instance, maxStates int, witness bool) (*Result, error) {
 	if n > 62 {
 		return nil, fmt.Errorf("opt: Exact supports at most 62 nodes, got %d", n)
 	}
-	s := &solver{in: in, n: n, maxStates: maxStates}
-	if witness {
-		s.parent = map[string]edge{}
+	if tab == nil {
+		tab = hashtab.New(stateWords(in.K), 1024)
 	}
+	s := &solver{in: in, n: n, maxStates: maxStates, witness: witness, tab: tab}
 	return s.run()
 }
 
-// state packs a configuration (and in one-shot mode, the computed set)
-// into comparable bitmasks. With n ≤ 62 each set fits one uint64.
-type state struct {
-	red      []uint64 // canonical order (sorted) when shades are symmetric
-	blue     uint64
-	computed uint64 // used only in one-shot mode
-}
-
-func (st state) key() string {
-	buf := make([]byte, 0, 8*(len(st.red)+2))
-	for _, r := range st.red {
-		buf = appendU64(buf, r)
-	}
-	buf = appendU64(buf, st.blue)
-	buf = appendU64(buf, st.computed)
-	return string(buf)
-}
-
-func appendU64(b []byte, v uint64) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
-}
-
-type pqItem struct {
-	st   state
-	cost int64 // g-cost (cost so far)
-	f    int64 // g + admissible heuristic
-	idx  int
-}
-
-type pq []*pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i]; p[i].idx = i; p[j].idx = j }
-func (p *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*p = old[:n-1]
-	return it
-}
-
-// edge records how a state was first reached at its best cost, for
+// parentEdge records how a state was first reached at its best cost, for
 // witness reconstruction.
-type edge struct {
-	from string
+type parentEdge struct {
+	from int32
 	move pebble.Move
 }
 
@@ -130,47 +94,77 @@ type solver struct {
 	in        *pebble.Instance
 	n         int
 	maxStates int
+	witness   bool
 
 	predMask []uint64 // predecessor bitmask per node
-	succMask []uint64
 	sinkMask uint64
 
-	dist   map[string]int64
-	parent map[string]edge // nil unless witness reconstruction is on
-	q      pq
+	tab    hashtab.Index // state identity → dense index
+	dist   []int64       // best g-cost per state index
+	parent []parentEdge  // per state index; witness mode only
+	bq     bucketQueue
 
-	cur state // state being expanded (for parent bookkeeping)
+	curIdx int32 // index of the state being expanded
+
+	// Scratch buffers, reused across the whole search so that expanding a
+	// state and rejecting all its candidates performs zero allocations.
+	cur                              []uint64 // copy of the expanding state
+	cand                             []uint64 // candidate successor under construction
+	choice                           []int    // per-processor pick inside product enumeration
+	delChoice                        []int    // single-action choice vector for deletes
+	computeOpts, readOpts, writeOpts [][]int
 }
+
+// Packed state layout accessors: words[0..k-1] red, words[k] blue,
+// words[k+1] computed.
+func (s *solver) blueWord(w []uint64) uint64     { return w[s.in.K] }
+func (s *solver) computedWord(w []uint64) uint64 { return w[s.in.K+1] }
 
 func (s *solver) run() (*Result, error) {
 	g := s.in.Graph
+	k := s.in.K
 	s.predMask = make([]uint64, s.n)
-	s.succMask = make([]uint64, s.n)
 	for v := 0; v < s.n; v++ {
 		for _, u := range g.Pred(dag.NodeID(v)) {
 			s.predMask[v] |= 1 << uint(u)
-		}
-		for _, w := range g.Succ(dag.NodeID(v)) {
-			s.succMask[v] |= 1 << uint(w)
 		}
 	}
 	for _, v := range g.Sinks() {
 		s.sinkMask |= 1 << uint(v)
 	}
 
-	start := state{red: make([]uint64, s.in.K)}
-	s.dist = map[string]int64{start.key(): 0}
-	heap.Push(&s.q, &pqItem{st: start, cost: 0, f: s.heuristic(start)})
+	w := stateWords(k)
+	s.cur = make([]uint64, w)
+	s.cand = make([]uint64, w)
+	s.choice = make([]int, k)
+	s.delChoice = make([]int, k)
+	for p := range s.delChoice {
+		s.delChoice[p] = -1
+	}
+	s.computeOpts = make([][]int, k)
+	s.readOpts = make([][]int, k)
+	s.writeOpts = make([][]int, k)
+
+	// Seed: the empty configuration is state 0.
+	start := make([]uint64, w)
+	startIdx, _ := s.tab.Insert(start)
+	s.dist = append(s.dist, 0)
+	if s.witness {
+		s.parent = append(s.parent, parentEdge{from: -1})
+	}
+	s.bq.push(s.heuristic(0), int32(startIdx), 0)
+
 	expanded := 0
-	for s.q.Len() > 0 {
-		it := heap.Pop(&s.q).(*pqItem)
-		if d, ok := s.dist[it.st.key()]; ok && it.cost > d {
+	for !s.bq.empty() {
+		e, _ := s.bq.pop()
+		if e.g > s.dist[e.idx] {
 			continue // stale queue entry
 		}
-		if s.isGoal(it.st) {
-			res := &Result{Cost: it.cost, States: expanded}
-			if s.parent != nil {
-				strat, err := s.reconstruct(it.st)
+		s.cur = append(s.cur[:0], s.tab.Key(int(e.idx))...)
+		if s.isGoal(s.cur) {
+			res := &Result{Cost: e.g, States: expanded}
+			if s.witness {
+				strat, err := s.reconstruct(e.idx)
 				if err != nil {
 					return nil, err
 				}
@@ -182,25 +176,23 @@ func (s *solver) run() (*Result, error) {
 		if expanded > s.maxStates {
 			return nil, fmt.Errorf("%w after %d states", ErrBudget, expanded)
 		}
-		s.cur = it.st
-		s.expand(it.st, it.cost)
+		s.curIdx = e.idx
+		s.expand(e.g)
 	}
 	return nil, fmt.Errorf("opt: no pebbling found (unreachable for valid instances)")
 }
 
-// reconstruct walks parent pointers from the goal back to the initial
-// state and returns the move sequence.
-func (s *solver) reconstruct(goal state) (*pebble.Strategy, error) {
-	startKey := state{red: make([]uint64, s.in.K)}.key()
+// reconstruct walks parent pointers from the goal back to state 0 (the
+// initial configuration) and returns the move sequence.
+func (s *solver) reconstruct(goal int32) (*pebble.Strategy, error) {
 	var rev []pebble.Move
-	key := goal.key()
-	for key != startKey {
-		e, ok := s.parent[key]
-		if !ok {
+	for idx := goal; idx != 0; {
+		e := s.parent[idx]
+		if e.from < 0 {
 			return nil, fmt.Errorf("opt: witness chain broken (internal error)")
 		}
 		rev = append(rev, e.move)
-		key = e.from
+		idx = e.from
 		if len(rev) > s.maxStates {
 			return nil, fmt.Errorf("opt: witness chain too long (internal error)")
 		}
@@ -215,12 +207,14 @@ func (s *solver) reconstruct(goal state) (*pebble.Strategy, error) {
 // heuristic returns an admissible lower bound on the cost to go: every
 // node never yet computed must appear in some compute move, and one move
 // computes at most k of them. For classic SPP (free computes) it is 0.
-// It relies on st.computed, which is maintained in every mode.
-func (s *solver) heuristic(st state) int64 {
+// It is also consistent — a compute move costs ComputeCost and lowers the
+// bound by at most ComputeCost; other moves leave it unchanged — which is
+// what lets the bucket queue's cursor move only forward.
+func (s *solver) heuristic(computed uint64) int64 {
 	if s.in.ComputeCost == 0 {
 		return 0
 	}
-	uncomputed := s.n - popcount(st.computed)
+	uncomputed := s.n - popcount(computed)
 	if uncomputed <= 0 {
 		return 0
 	}
@@ -228,151 +222,143 @@ func (s *solver) heuristic(st state) int64 {
 	return int64((uncomputed+k-1)/k) * int64(s.in.ComputeCost)
 }
 
-func (s *solver) isGoal(st state) bool {
-	pebbled := st.blue
-	for _, r := range st.red {
+func (s *solver) isGoal(w []uint64) bool {
+	pebbled := s.blueWord(w)
+	for _, r := range w[:s.in.K] {
 		pebbled |= r
 	}
 	return s.sinkMask&^pebbled == 0
 }
 
-func (s *solver) relax(st state, cost int64, mv pebble.Move) {
-	if s.parent == nil {
+// relax offers the candidate state in s.cand at the given g-cost. The
+// move is materialized from (kind, choice) only in witness mode and only
+// when the candidate actually improves — the rejected path allocates
+// nothing (Insert on a present key is allocation-free).
+func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
+	if !s.witness {
 		// Shade symmetry collapse is only sound when no move sequence
 		// must be reconstructed (relabeling shades would desynchronize
 		// the recorded moves' processor indices).
-		st = canonical(st)
+		canonicalizeRed(s.cand[:s.in.K])
 	}
-	k := st.key()
-	if d, ok := s.dist[k]; ok && d <= cost {
-		return
-	}
-	s.dist[k] = cost
-	if s.parent != nil {
-		s.parent[k] = edge{from: s.cur.key(), move: mv}
-	}
-	heap.Push(&s.q, &pqItem{st: st, cost: cost, f: cost + s.heuristic(st)})
-}
-
-// canonical sorts the red sets so permuting processor shades collapses to
-// one state (all processors have identical r).
-func canonical(st state) state {
-	red := make([]uint64, len(st.red))
-	copy(red, st.red)
-	// insertion sort; k is tiny
-	for i := 1; i < len(red); i++ {
-		for j := i; j > 0 && red[j] < red[j-1]; j-- {
-			red[j], red[j-1] = red[j-1], red[j]
+	idx, existed := s.tab.Insert(s.cand)
+	if existed {
+		if s.dist[idx] <= cost {
+			return
+		}
+		s.dist[idx] = cost
+	} else {
+		s.dist = append(s.dist, cost)
+		if s.witness {
+			s.parent = append(s.parent, parentEdge{from: -1})
 		}
 	}
-	return state{red: red, blue: st.blue, computed: st.computed}
+	if s.witness {
+		s.parent[idx] = parentEdge{from: s.curIdx, move: moveOf(kind, choice)}
+	}
+	s.bq.push(cost+s.heuristic(s.computedWord(s.cand)), int32(idx), cost)
 }
 
-func popcount(x uint64) int { return bits.OnesCount64(x) }
-
-// expand generates every successor state. Per-processor option lists are
-// combined into parallel moves; since one parallel move costs the same as
-// a single action of the same kind, only maximal combinations need not be
-// enumerated — we enumerate all non-empty subsets of per-processor
-// choices implicitly through a product construction, but prune by noting
-// that adding an extra legal action to a move never hurts is NOT valid in
-// general (it occupies memory), so the full product is explored.
-func (s *solver) expand(st state, cost int64) {
+// expand generates every successor state of s.cur. Per-processor option
+// lists are combined into parallel moves; since a parallel move costs the
+// same as a single action of the same kind, one might hope only maximal
+// combinations matter, but adding an extra legal action occupies memory,
+// so the full product of per-processor choices is explored.
+func (s *solver) expand(cost int64) {
 	k := s.in.K
 	gCost := int64(s.in.G)
 	cCost := int64(s.in.ComputeCost)
 
 	// Per-processor candidate actions for each move kind. -1 encodes
 	// "idle" (processor not in the shaded selection).
-	computeOpts := make([][]int, k)
-	readOpts := make([][]int, k)
-	writeOpts := make([][]int, k)
+	blue := s.blueWord(s.cur)
+	computed := s.computedWord(s.cur)
 	for p := 0; p < k; p++ {
+		co := s.computeOpts[p][:0]
+		ro := s.readOpts[p][:0]
+		wo := s.writeOpts[p][:0]
+		red := s.cur[p]
 		for v := 0; v < s.n; v++ {
 			bit := uint64(1) << uint(v)
 			// Compute v on p: all preds red on p, v not red on p, memory ok.
-			if s.predMask[v]&^st.red[p] == 0 && st.red[p]&bit == 0 {
-				if !s.in.OneShot || st.computed&bit == 0 {
-					computeOpts[p] = append(computeOpts[p], v)
+			if s.predMask[v]&^red == 0 && red&bit == 0 {
+				if !s.in.OneShot || computed&bit == 0 {
+					co = append(co, v)
 				}
 			}
 			// Read v into p: v blue, not already red on p.
-			if st.blue&bit != 0 && st.red[p]&bit == 0 {
-				readOpts[p] = append(readOpts[p], v)
+			if blue&bit != 0 && red&bit == 0 {
+				ro = append(ro, v)
 			}
 			// Write v from p: v red on p, not already blue.
-			if st.red[p]&bit != 0 && st.blue&bit == 0 {
-				writeOpts[p] = append(writeOpts[p], v)
+			if red&bit != 0 && blue&bit == 0 {
+				wo = append(wo, v)
 			}
 		}
+		s.computeOpts[p], s.readOpts[p], s.writeOpts[p] = co, ro, wo
 	}
 
 	// Delete edges (cost 0): remove one red pebble. Blue deletions are
 	// never beneficial (slow memory is unlimited), so they are skipped.
 	for p := 0; p < k; p++ {
-		reds := st.red[p]
+		reds := s.cur[p]
 		for reds != 0 {
 			v := trailingZeros(reds)
 			reds &= reds - 1
-			ns := cloneState(st)
-			ns.red[p] &^= 1 << uint(v)
-			s.relax(ns, cost, pebble.Delete(pebble.At(p, dag.NodeID(v))))
+			copy(s.cand, s.cur)
+			s.cand[p] &^= 1 << uint(v)
+			s.delChoice[p] = v
+			s.relax(cost, pebble.OpDelete, s.delChoice)
+			s.delChoice[p] = -1
 		}
 	}
 
-	// Parallel compute moves.
-	s.product(computeOpts, func(choice []int) {
-		ns := cloneState(st)
-		ok := true
+	s.product(s.computeOpts, pebble.OpCompute, cost+cCost)
+	s.product(s.readOpts, pebble.OpRead, cost+gCost)
+	s.product(s.writeOpts, pebble.OpWrite, cost+gCost)
+}
+
+// applyChoice builds the successor for s.choice under the given move kind
+// into s.cand and relaxes it if legal.
+func (s *solver) applyChoice(kind pebble.OpKind, newCost int64) {
+	copy(s.cand, s.cur)
+	switch kind {
+	case pebble.OpCompute:
 		var seen uint64
-		for p, v := range choice {
+		for p, v := range s.choice {
 			if v < 0 {
 				continue
 			}
 			bit := uint64(1) << uint(v)
 			if s.in.OneShot && seen&bit != 0 {
-				ok = false // two processors computing v at once would double-apply R3
+				return // two processors computing v at once would double-apply R3
 			}
 			seen |= bit
-			ns.red[p] |= bit
-			ns.computed |= bit
-			if popcount(ns.red[p]) > s.in.R {
-				ok = false
+			s.cand[p] |= bit
+			s.cand[s.in.K+1] |= bit
+			if popcount(s.cand[p]) > s.in.R {
+				return
 			}
 		}
-		if ok {
-			s.relax(ns, cost+cCost, moveOf(pebble.OpCompute, choice))
-		}
-	})
-	// Parallel read moves.
-	s.product(readOpts, func(choice []int) {
-		ns := cloneState(st)
-		ok := true
-		for p, v := range choice {
+	case pebble.OpRead:
+		for p, v := range s.choice {
 			if v < 0 {
 				continue
 			}
-			ns.red[p] |= 1 << uint(v)
-			if popcount(ns.red[p]) > s.in.R {
-				ok = false
+			s.cand[p] |= 1 << uint(v)
+			if popcount(s.cand[p]) > s.in.R {
+				return
 			}
 		}
-		if ok {
-			s.relax(ns, cost+gCost, moveOf(pebble.OpRead, choice))
-		}
-	})
-	// Parallel write moves.
-	s.product(writeOpts, func(choice []int) {
-		ns := cloneState(st)
-		for p, v := range choice {
+	case pebble.OpWrite:
+		for _, v := range s.choice {
 			if v < 0 {
 				continue
 			}
-			_ = p
-			ns.blue |= 1 << uint(v)
+			s.cand[s.in.K] |= 1 << uint(v)
 		}
-		s.relax(ns, cost+gCost, moveOf(pebble.OpWrite, choice))
-	})
+	}
+	s.relax(newCost, kind, s.choice)
 }
 
 // moveOf converts a per-processor choice vector (-1 = idle) into a Move.
@@ -386,36 +372,29 @@ func moveOf(kind pebble.OpKind, choice []int) pebble.Move {
 	return m
 }
 
-func cloneState(st state) state {
-	red := make([]uint64, len(st.red))
-	copy(red, st.red)
-	return state{red: red, blue: st.blue, computed: st.computed}
-}
-
 // product enumerates every non-empty combination of per-processor
-// choices (-1 = idle) and invokes fn with each. One-shot duplicates of
-// the same node on different processors in a single compute move are
-// allowed by the rules and harmless here.
-func (s *solver) product(opts [][]int, fn func(choice []int)) {
-	k := len(opts)
-	choice := make([]int, k)
-	var rec func(p int, any bool)
-	rec = func(p int, any bool) {
-		if p == k {
-			if any {
-				fn(choice)
-			}
-			return
-		}
-		choice[p] = -1
-		rec(p+1, any)
-		for _, v := range opts[p] {
-			choice[p] = v
-			rec(p+1, true)
-		}
-		choice[p] = -1
-	}
-	rec(0, false)
+// choices (-1 = idle) into s.choice and applies each. One-shot duplicates
+// of the same node on different processors in a single compute move are
+// rejected in applyChoice.
+func (s *solver) product(opts [][]int, kind pebble.OpKind, newCost int64) {
+	s.productRec(opts, kind, newCost, 0, false)
 }
 
+func (s *solver) productRec(opts [][]int, kind pebble.OpKind, newCost int64, p int, any bool) {
+	if p == len(opts) {
+		if any {
+			s.applyChoice(kind, newCost)
+		}
+		return
+	}
+	s.choice[p] = -1
+	s.productRec(opts, kind, newCost, p+1, any)
+	for _, v := range opts[p] {
+		s.choice[p] = v
+		s.productRec(opts, kind, newCost, p+1, true)
+	}
+	s.choice[p] = -1
+}
+
+func popcount(x uint64) int      { return bits.OnesCount64(x) }
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,37 @@
+package opt
+
+import (
+	"repro/internal/dag"
+	"repro/internal/hashtab"
+	"repro/internal/pebble"
+)
+
+// Oracle variants of the exact solvers: the identical search code run
+// against the map-backed hashtab.Ref instead of the open-addressing
+// table. Because the traversal, tie-breaking (bucket-queue LIFO) and
+// pruning logic are shared and only the state-identity structure is
+// swapped, an oracle run must return byte-identical results — (Cost,
+// States) for Exact, (Feasible, States, Order) for ZeroIOBig. The
+// equivalence tests assert exactly that on the DAG zoo and the Theorem 2
+// reduction instances; the oracles are ordinary non-test code (no build
+// tag) so the comparison compiles everywhere.
+
+// ExactOracle is Exact backed by the map-based reference state table.
+func ExactOracle(in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(in, maxStates, false, hashtab.NewRef(stateWords(in.K)))
+}
+
+// ExactWithStrategyOracle is ExactWithStrategy backed by the map-based
+// reference state table.
+func ExactWithStrategyOracle(in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(in, maxStates, true, hashtab.NewRef(stateWords(in.K)))
+}
+
+// ZeroIOBigOracle is ZeroIOBig backed by the map-based reference memo.
+func ZeroIOBigOracle(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	words := (g.N() + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	return zeroIOBig(g, r, maxStates, hashtab.NewRef(words))
+}

@@ -1,0 +1,74 @@
+package opt
+
+// This file holds the allocation-free machinery under the exact solver:
+// the packed word layout of a search state and the monotone bucket
+// priority queue that replaces container/heap.
+//
+// A state is k+2 consecutive uint64 words — red[0..k-1], blue, computed —
+// stored directly as a hashtab key, so the table's arena doubles as the
+// state store and a state's identity is its dense table index. No string
+// key, no per-state struct, no boxing.
+
+// stateWords returns the packed width of a state for k processors.
+func stateWords(k int) int { return k + 2 }
+
+// canonicalizeRed sorts the red words in place so permuting processor
+// shades collapses to one state (insertion sort; k is tiny). Only sound
+// when no move sequence must be reconstructed.
+func canonicalizeRed(red []uint64) {
+	for i := 1; i < len(red); i++ {
+		for j := i; j > 0 && red[j] < red[j-1]; j-- {
+			red[j], red[j-1] = red[j-1], red[j]
+		}
+	}
+}
+
+// bqEntry is one queue element: a state's table index plus the g-cost it
+// was pushed with (stale entries are detected by comparing g to dist).
+type bqEntry struct {
+	idx int32
+	g   int64
+}
+
+// bucketQueue is a monotone bucket (calendar) priority queue over integer
+// f-values. A* with the admissible, consistent compute-floor heuristic
+// pops f in non-decreasing order, so a single forward-moving cursor over
+// an array of buckets replaces the binary heap: push is an append, pop is
+// a slice shrink, and nothing is boxed through an interface. Ties within
+// a bucket pop LIFO, which is deterministic — the oracle solvers share
+// this queue so expansion order (hence States counts) matches exactly.
+type bucketQueue struct {
+	buckets [][]bqEntry
+	cur     int // lowest possibly-non-empty f; only moves forward in pop
+	size    int
+}
+
+func (q *bucketQueue) push(f int64, idx int32, g int64) {
+	fi := int(f)
+	for fi >= len(q.buckets) {
+		q.buckets = append(q.buckets, nil)
+	}
+	if fi < q.cur {
+		// Unreachable with a consistent heuristic; kept so the queue
+		// stays correct (not just monotone-correct) under any heuristic.
+		q.cur = fi
+	}
+	q.buckets[fi] = append(q.buckets[fi], bqEntry{idx: idx, g: g})
+	q.size++
+}
+
+func (q *bucketQueue) pop() (bqEntry, bool) {
+	if q.size == 0 {
+		return bqEntry{}, false
+	}
+	for len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	b := q.buckets[q.cur]
+	e := b[len(b)-1]
+	q.buckets[q.cur] = b[:len(b)-1]
+	q.size--
+	return e, true
+}
+
+func (q *bucketQueue) empty() bool { return q.size == 0 }

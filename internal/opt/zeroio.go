@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dag"
+	"repro/internal/hashtab"
 	"repro/internal/pebble"
 )
 
@@ -74,7 +75,8 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		return live
 	}
 
-	failed := map[uint64]bool{}
+	failed := hashtab.New(1, 256)
+	var failedKey [1]uint64
 	states := 0
 	var order []dag.NodeID
 	var rec func(c uint64) (bool, error)
@@ -82,7 +84,8 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		if c == full {
 			return true, nil
 		}
-		if failed[c] {
+		failedKey[0] = c
+		if _, isFailed := failed.Find(failedKey[:]); isFailed {
 			return false, nil
 		}
 		states++
@@ -112,7 +115,8 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 				return true, nil
 			}
 		}
-		failed[c] = true
+		failedKey[0] = c
+		failed.Insert(failedKey[:])
 		return false, nil
 	}
 

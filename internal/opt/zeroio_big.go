@@ -5,12 +5,22 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
+	"repro/internal/hashtab"
 )
 
 // ZeroIOBig is ZeroIO for DAGs of arbitrary size, using bitsets instead
 // of single-word masks. It is used by the hardness reductions, whose
 // instances exceed 62 nodes. Same semantics as ZeroIO.
 func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	return zeroIOBig(g, r, maxStates, nil)
+}
+
+// zeroIOBig runs the search. failed overrides the failure memo (tests
+// pass the map-backed hashtab.Ref oracle); nil selects the
+// open-addressing table. The memo is keyed on the raw words of the
+// computed-set bitset, appended into a reusable buffer — no per-state
+// string key is ever built.
+func zeroIOBig(g *dag.Graph, r int, maxStates int, failed hashtab.Index) (*ZeroIOResult, error) {
 	n := g.N()
 	if n == 0 {
 		return &ZeroIOResult{Feasible: true}, nil
@@ -20,12 +30,6 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		isSink[v] = true
 	}
 
-	// Incremental live tracking: when v is computed, v becomes live; each
-	// predecessor u with all successors computed (and not a sink) dies.
-	type frame struct {
-		v    dag.NodeID
-		died []dag.NodeID
-	}
 	computed := bitset.New(n)
 	live := bitset.New(n)
 	remSucc := make([]int, n)
@@ -35,19 +39,33 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		remPred[v] = g.InDegree(dag.NodeID(v))
 	}
 
-	failed := map[string]bool{}
+	keyWords := len(computed.AppendWords(nil))
+	if failed == nil {
+		failed = hashtab.New(keyWords, 1024)
+	}
+	keyBuf := make([]uint64, 0, keyWords)
 	states := 0
 	var order []dag.NodeID
 
+	// Incremental live tracking: when v is computed, v becomes live; each
+	// predecessor u with all successors computed (and not a sink) dies.
+	// Dead predecessors are recorded on a shared stack — a frame is just
+	// (v, stack watermark), so apply/undo never allocate.
+	type frame struct {
+		v         dag.NodeID
+		diedStart int
+	}
+	var diedStack []dag.NodeID
+
 	apply := func(v dag.NodeID) frame {
-		fr := frame{v: v}
+		fr := frame{v: v, diedStart: len(diedStack)}
 		computed.Add(int(v))
 		live.Add(int(v))
 		for _, u := range g.Pred(v) {
 			remSucc[u]--
 			if remSucc[u] == 0 && !isSink[u] {
 				live.Remove(int(u))
-				fr.died = append(fr.died, u)
+				diedStack = append(diedStack, u)
 			}
 		}
 		for _, w := range g.Succ(v) {
@@ -62,19 +80,12 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		for _, u := range g.Pred(fr.v) {
 			remSucc[u]++
 		}
-		for _, u := range fr.died {
+		for _, u := range diedStack[fr.diedStart:] {
 			live.Add(int(u))
 		}
+		diedStack = diedStack[:fr.diedStart]
 		live.Remove(int(fr.v))
 		computed.Remove(int(fr.v))
-	}
-	key := func() string {
-		words := computed.AppendWords(nil)
-		buf := make([]byte, 0, len(words)*8)
-		for _, w := range words {
-			buf = appendU64(buf, w)
-		}
-		return string(buf)
 	}
 
 	// Twin canonicalization: nodes with identical predecessor and
@@ -122,8 +133,8 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		if computed.Count() == n {
 			return true, nil
 		}
-		k := key()
-		if failed[k] {
+		keyBuf = computed.AppendWords(keyBuf[:0])
+		if _, isFailed := failed.Find(keyBuf); isFailed {
 			return false, nil
 		}
 		states++
@@ -150,10 +161,15 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 				if ok {
 					order = append(order, dag.NodeID(v))
 				} else {
-					failed[k] = true
+					// Deeper calls clobbered keyBuf; rebuild this state's
+					// key (apply is still in effect, so undo first).
+					undo(fr)
+					keyBuf = computed.AppendWords(keyBuf[:0])
+					failed.Insert(keyBuf)
+					return false, nil
 				}
 				undo(fr)
-				return ok, nil
+				return true, nil
 			}
 		}
 		for v := 0; v < n; v++ {
@@ -179,7 +195,8 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 			}
 			undo(fr)
 		}
-		failed[k] = true
+		keyBuf = computed.AppendWords(keyBuf[:0])
+		failed.Insert(keyBuf)
 		return false, nil
 	}
 	ok, err := rec()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
+	"repro/internal/hashtab"
 )
 
 // Config is a pebbling configuration: one red-pebble set per processor
@@ -84,6 +85,27 @@ func (c *Config) Equal(d *Config) bool {
 		}
 	}
 	return true
+}
+
+// AppendWords appends the packed identity of the configuration — each
+// shade's red words in shade order, then the blue words — to dst and
+// returns the extended slice. Configurations that are Equal produce
+// identical words; the result is a ready-made key for a hashtab table
+// (pass a reused buffer to stay allocation-free).
+func (c *Config) AppendWords(dst []uint64) []uint64 {
+	for _, r := range c.Red {
+		dst = r.AppendWords(dst)
+	}
+	return c.Blue.AppendWords(dst)
+}
+
+// Hash returns a 64-bit hash of the configuration. Equal configurations
+// hash identically; shade order is significant (permuting processor
+// shades is a different configuration unless a caller canonicalizes
+// first).
+func (c *Config) Hash() uint64 {
+	var scratch [8]uint64
+	return hashtab.Hash(c.AppendWords(scratch[:0]))
 }
 
 // String renders the configuration, e.g. "R0={1, 2} R1={} B={3}".

@@ -1,0 +1,51 @@
+package pebble
+
+import "testing"
+
+func TestConfigAppendWordsWidth(t *testing.T) {
+	// n=70 → 2 words per set; k=3 shades + blue → 8 words total.
+	c := NewConfig(70, 3)
+	words := c.AppendWords(nil)
+	if len(words) != 8 {
+		t.Fatalf("AppendWords returned %d words, want 8", len(words))
+	}
+}
+
+func TestConfigHashEqualIffEqual(t *testing.T) {
+	a := NewConfig(10, 2)
+	b := NewConfig(10, 2)
+	a.Red[0].Add(3)
+	a.Blue.Add(7)
+	b.Red[0].Add(3)
+	b.Blue.Add(7)
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatalf("equal configs: Equal=%v hashes %x vs %x", a.Equal(b), a.Hash(), b.Hash())
+	}
+	// Shade order is part of the identity: moving the pebble to the other
+	// shade must change the hash (hash is over ordered words).
+	c := NewConfig(10, 2)
+	c.Red[1].Add(3)
+	c.Blue.Add(7)
+	if a.Hash() == c.Hash() {
+		t.Fatal("shade permutation did not change the hash")
+	}
+	// Red vs blue placement differs too.
+	d := NewConfig(10, 2)
+	d.Red[0].Add(3)
+	d.Red[0].Add(7)
+	if a.Hash() == d.Hash() {
+		t.Fatal("red/blue swap did not change the hash")
+	}
+}
+
+func TestConfigHashNoAlloc(t *testing.T) {
+	// Up to k+1 = 8 total word-sets of one word each, Hash must not
+	// allocate (the scratch buffer covers it).
+	c := NewConfig(60, 4)
+	c.Red[2].Add(11)
+	c.Blue.Add(1)
+	allocs := testing.AllocsPerRun(100, func() { _ = c.Hash() })
+	if allocs != 0 {
+		t.Fatalf("Hash allocated %v times per run", allocs)
+	}
+}

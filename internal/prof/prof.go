@@ -1,0 +1,61 @@
+// Package prof wires the stdlib runtime/pprof profilers into the cmd
+// binaries with two flags, so perf work on the solvers and schedulers can
+// show flamegraph-backed numbers:
+//
+//	mppexp -quick -cpuprofile cpu.out E12
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuPath = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memPath = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling if -cpuprofile was given. The returned stop
+// function is idempotent, stops the CPU profile, and writes the heap
+// profile if -memprofile was given; call it on every exit path (defer
+// does not run through os.Exit). Must be called after flag.Parse.
+func Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *cpuPath != "" {
+		cpuFile, err = os.Create(*cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memPath != "" {
+			f, err := os.Create(*memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

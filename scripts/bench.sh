@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Performance trajectory snapshot: run the Go benchmark suite for human
+# inspection, then emit a machine-readable BENCH_<date>.json via
+# cmd/mppbench. Commit the JSON — successive snapshots are the repo's
+# perf history, diffable across PRs.
+#
+#   scripts/bench.sh                   # BENCH_<today>.json, full windows
+#   scripts/bench.sh my.json           # custom output path
+#   QUICK=1 scripts/bench.sh           # shorter sampling windows
+#   BENCHTIME=5x scripts/bench.sh      # longer go-test benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%Y-%m-%d).json}"
+
+echo "== go test -bench (micro + experiment benchmarks) =="
+go test -run 'xxx' -bench . -benchmem -benchtime "${BENCHTIME:-1x}" .
+
+echo "== mppbench -> $out =="
+go run ./cmd/mppbench ${QUICK:+-quick} -out "$out"

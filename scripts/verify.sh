@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: formatting, vet, build, full test suite, and
+# a one-iteration benchmark smoke (benchmarks double as shape-check
+# regression gates). Run before every commit; CI runs exactly this.
+#
+#   scripts/verify.sh           # full suite (~2 min; hardness q=4 dominates)
+#   SHORT=1 scripts/verify.sh   # -short: skips the slow q=4 hardness search
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ${SHORT:+-short} ./...
+
+echo "== bench smoke (1 iteration each) =="
+go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
+
+echo "verify OK"
