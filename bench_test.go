@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,7 +23,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := e.Run(exp.Config{Quick: true})
+		tab, err := exp.RunSafe(context.Background(), e, exp.Config{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,7 +9,14 @@
 //	mppbench                     # write BENCH_<today>.json
 //	mppbench -out -              # JSON to stdout
 //	mppbench -quick              # shorter sampling windows
+//	mppbench -timeout 2s         # deadline per solver call / experiment
+//	mppbench -max-states 100000  # cap the exact solvers' state budgets
 //	mppbench -cpuprofile cpu.out # profile the whole run
+//
+// Under -timeout / -max-states, a solver benchmark whose search cannot
+// finish inside the budget is skipped with the anytime bound gap it
+// reached (OPT ∈ [lower, incumbent]) instead of aborting the run, and
+// experiments report partial tables.
 //
 // Per benchmark the snapshot records ns/op, bytes/op, allocs/op and —
 // for the exact solvers — states/sec, the solver-independent throughput
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +33,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/exp"
 	"repro/internal/gen"
@@ -98,6 +107,8 @@ func measure(name, group string, minTime time.Duration, fn func() (states int, e
 func main() {
 	out := flag.String("out", "", `output file ("-" = stdout; default BENCH_<date>.json)`)
 	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
+	timeout := flag.Duration("timeout", 0, "deadline per solver call and per experiment (0 = none); searches that hit it are skipped with their bound gap")
+	maxStates := flag.Int("max-states", 0, "cap each exact solver call's explored states (0 = benchmark defaults)")
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -117,8 +128,26 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
 	}
+	states := func(def int) int {
+		if *maxStates > 0 {
+			return *maxStates
+		}
+		return def
+	}
+	solverCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
 	add := func(rec record, err error) {
 		if err != nil {
+			if opt.IsPartial(err) {
+				// An undersized budget is a property of this run's flags,
+				// not a failure of the engine: record the skip and move on.
+				fmt.Fprintf(os.Stderr, "skipped: %v\n", err)
+				return
+			}
 			fatal(err)
 		}
 		snap.Benchmarks = append(snap.Benchmarks, rec)
@@ -133,30 +162,38 @@ func main() {
 	// --- solver group: the exact-search hot paths ---------------------
 	gridK1 := pebble.MustInstance(gen.Grid2D(3, 3), pebble.MPP(1, 4, 2))
 	add(measure("exact-grid3x3-k1", "solver", minTime, func() (int, error) {
-		res, err := opt.Exact(gridK1, 10_000_000)
+		ctx, cancel := solverCtx()
+		defer cancel()
+		res, err := opt.ExactCtx(ctx, gridK1, states(10_000_000))
 		if err != nil {
-			return 0, err
+			return 0, annotateGap(res, err)
 		}
 		return res.States, nil
 	}))
 	gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
 	add(measure("exact-grid2x3-k2", "solver", minTime, func() (int, error) {
-		res, err := opt.Exact(gridK2, 10_000_000)
+		ctx, cancel := solverCtx()
+		defer cancel()
+		res, err := opt.ExactCtx(ctx, gridK2, states(10_000_000))
 		if err != nil {
-			return 0, err
+			return 0, annotateGap(res, err)
 		}
 		return res.States, nil
 	}))
 	add(measure("exact-witness-grid2x3-k2", "solver", minTime, func() (int, error) {
-		res, err := opt.ExactWithStrategy(gridK2, 10_000_000)
+		ctx, cancel := solverCtx()
+		defer cancel()
+		res, err := opt.ExactWithStrategyCtx(ctx, gridK2, states(10_000_000))
 		if err != nil {
-			return 0, err
+			return 0, annotateGap(res, err)
 		}
 		return res.States, nil
 	}))
 	pyr := gen.Pyramid(6)
 	add(measure("zeroio-pyramid6-r8", "solver", minTime, func() (int, error) {
-		res, err := opt.ZeroIO(pyr, 8, 10_000_000)
+		ctx, cancel := solverCtx()
+		defer cancel()
+		res, err := opt.ZeroIOCtx(ctx, pyr, 8, states(10_000_000))
 		if err != nil {
 			return 0, err
 		}
@@ -170,7 +207,9 @@ func main() {
 		fatal(err)
 	}
 	add(measure("zeroiobig-clique-C4-q3", "solver", minTime, func() (int, error) {
-		res, err := opt.ZeroIOBig(red.Graph, red.R, 10_000_000)
+		ctx, cancel := solverCtx()
+		defer cancel()
+		res, err := opt.ZeroIOBigCtx(ctx, red.Graph, red.R, states(10_000_000))
 		if err != nil {
 			return 0, err
 		}
@@ -209,9 +248,14 @@ func main() {
 	for _, e := range exp.Registry() {
 		e := e
 		add(measure(e.ID+"-quick", "experiment", 0, func() (int, error) {
-			tab, err := e.Run(exp.Config{Quick: true})
+			cfg := exp.Config{Quick: true, Timeout: *timeout, MaxStates: *maxStates}
+			tab, err := exp.RunSafe(context.Background(), e, cfg)
 			if err != nil {
 				return 0, err
+			}
+			if tab.Partial {
+				fmt.Fprintf(os.Stderr, "note: %s partial under -timeout/-max-states\n", e.ID)
+				return 0, nil
 			}
 			if !tab.Pass() {
 				return 0, fmt.Errorf("%s shape checks failed", e.ID)
@@ -242,4 +286,14 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mppbench:", err)
 	os.Exit(1)
+}
+
+// annotateGap decorates an exact solver's early-stop error with the
+// anytime bracket it reached, so a skipped benchmark still reports how
+// close the search got (res may be nil on non-partial failures).
+func annotateGap(res *opt.Result, err error) error {
+	if res == nil || !opt.IsPartial(err) {
+		return err
+	}
+	return fmt.Errorf("%w; %s", err, bounds.FormatGap(res.LowerBound, res.Incumbent))
 }

@@ -7,9 +7,17 @@
 //	mppsched -dag fft:4 -k 2 -r 6 -g 3 -sched greedy
 //	mppsched -dag zipper:8,40 -k 2 -r 10 -g 4 -sched all
 //	mppsched -dag file:my.txt -k 4 -sched partitioned:levels -timeline 20
+//	mppsched -dag random:500,0.05 -sched random -timeout 2s
+//
+// -timeout bounds each scheduler's wall-clock time. Anytime schedulers
+// (random-restart greedy) return their best-so-far strategy at the
+// deadline; others report TIMEOUT and the run continues with the next
+// scheduler instead of hanging.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +45,7 @@ func main() {
 	improve := flag.Bool("improve", false, "post-optimize each strategy (no-op elision, dead-write elision, parallel repacking)")
 	save := flag.String("save", "", "write the (last) strategy as JSON to this file")
 	load := flag.String("load", "", "skip scheduling; validate and report the JSON strategy in this file")
+	timeout := flag.Duration("timeout", 0, "per-scheduler wall-clock deadline (0 = none); anytime schedulers return their best-so-far strategy")
 	flag.Parse()
 	stop, err := prof.Start()
 	if err != nil {
@@ -87,9 +96,18 @@ func main() {
 	}
 	var lastStrat *pebble.Strategy
 	for _, s := range schedulers {
-		strat, err := s.Schedule(in)
+		ctx, cancel := context.WithCancel(context.Background())
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		}
+		strat, err := sched.ScheduleCtx(ctx, s, in)
+		cancel()
 		if err != nil {
-			fmt.Printf("%-32s ERROR: %v\n", s.Name(), err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Printf("%-32s TIMEOUT after %v\n", s.Name(), *timeout)
+			} else {
+				fmt.Printf("%-32s ERROR: %v\n", s.Name(), err)
+			}
 			continue
 		}
 		rep, err := pebble.Replay(in, strat)

@@ -7,6 +7,7 @@
 package bounds
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/pebble"
@@ -83,4 +84,39 @@ func MMMCostLowerBound(n, k, r, g int) float64 {
 // measured cost C.
 func SurplusCost(cost int64, n, k int) float64 {
 	return float64(cost) - float64(n)/float64(k)
+}
+
+// Gap returns the relative optimality gap (incumbent − lower) / lower of
+// an anytime search's bracket OPT ∈ [lower, incumbent]. A gap of 0 means
+// the incumbent is proven optimal. Degenerate brackets: no incumbent
+// (incumbent < 0) or no information (lower ≤ 0 with no matching
+// incumbent) report +Inf; a zero lower bound with a zero incumbent is an
+// exact match.
+func Gap(lower, incumbent int64) float64 {
+	if incumbent < 0 || incumbent < lower {
+		return math.Inf(1)
+	}
+	if lower <= 0 {
+		if incumbent == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(incumbent-lower) / float64(lower)
+}
+
+// FormatGap renders an anytime bracket for reports: "OPT ∈ [lo, inc]
+// (gap p%)", or the open-ended forms when one side is missing.
+func FormatGap(lower, incumbent int64) string {
+	switch {
+	case incumbent < 0 && lower <= 0:
+		return "OPT unknown"
+	case incumbent < 0:
+		return fmt.Sprintf("OPT ≥ %d (no incumbent)", lower)
+	case Gap(lower, incumbent) == 0:
+		return fmt.Sprintf("OPT = %d", incumbent)
+	case math.IsInf(Gap(lower, incumbent), 1):
+		return fmt.Sprintf("OPT ≤ %d (no lower bound)", incumbent)
+	}
+	return fmt.Sprintf("OPT ∈ [%d, %d] (gap %.1f%%)", lower, incumbent, 100*Gap(lower, incumbent))
 }

@@ -116,3 +116,48 @@ func TestQuickSchedulersRespectFFTBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGap(t *testing.T) {
+	cases := []struct {
+		lower, incumbent int64
+		want             float64
+	}{
+		{10, 10, 0},           // proven optimal
+		{10, 15, 0.5},         // 50% gap
+		{10, 11, 0.1},         // 10% gap
+		{0, 0, 0},             // trivially optimal at zero
+		{10, -1, math.Inf(1)}, // no incumbent
+		{0, 7, math.Inf(1)},   // no usable lower bound
+		{-1, 7, math.Inf(1)},  // no lower bound at all
+		{10, 5, math.Inf(1)},  // inconsistent bracket
+	}
+	for _, c := range cases {
+		got := Gap(c.lower, c.incumbent)
+		if math.IsInf(c.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("Gap(%d, %d) = %v, want +Inf", c.lower, c.incumbent, got)
+			}
+		} else if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gap(%d, %d) = %v, want %v", c.lower, c.incumbent, got, c.want)
+		}
+	}
+}
+
+func TestFormatGap(t *testing.T) {
+	cases := []struct {
+		lower, incumbent int64
+		want             string
+	}{
+		{-1, -1, "OPT unknown"},
+		{0, -1, "OPT unknown"},
+		{12, -1, "OPT ≥ 12 (no incumbent)"},
+		{12, 12, "OPT = 12"},
+		{0, 9, "OPT ≤ 9 (no lower bound)"},
+		{10, 15, "OPT ∈ [10, 15] (gap 50.0%)"},
+	}
+	for _, c := range cases {
+		if got := FormatGap(c.lower, c.incumbent); got != c.want {
+			t.Errorf("FormatGap(%d, %d) = %q, want %q", c.lower, c.incumbent, got, c.want)
+		}
+	}
+}

@@ -264,12 +264,15 @@ func (b *Builder) Build() (*Graph, error) {
 	return g, nil
 }
 
-// MustBuild is Build but panics on error; for generators whose output is
-// correct by construction.
+// MustBuild is Build but panics on error. It is reserved for generators
+// whose output is correct by construction (a cycle or dangling edge
+// there is a bug in the generator, not bad input); anything building a
+// graph from external data — files, CLI flags, network — must call
+// Build and return the error.
 func (b *Builder) MustBuild() *Graph {
 	g, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("dag: MustBuild on invalid generator output (programmer error): %v", err))
 	}
 	return g
 }

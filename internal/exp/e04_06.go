@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bounds"
@@ -29,7 +30,7 @@ func greedyVariants() []sched.Greedy {
 // tail-less zipper with g = d (greedy reloads what the optimum cheaply
 // recomputes), and by ≈ 2g/3+1 on the bait gadget (greedy computes every
 // bait eagerly and pays 2g per block to park it).
-func E04GreedyTraps(cfg Config) (*Table, error) {
+func E04GreedyTraps(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E04",
 		Title:   "Lemma 4: greedy adversarial families",
@@ -129,7 +130,7 @@ func E04GreedyTraps(cfg Config) (*Table, error) {
 // measured I/O of our best strategies. Measured I/O must upper-bound the
 // translated lower bound shape (constants differ; the check allows the
 // classic bounds' constant slack).
-func E05LowerBounds(cfg Config) (*Table, error) {
+func E05LowerBounds(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E05",
 		Title:   "Lemma 5 / Corollary 1: translated I/O lower bounds",
@@ -151,7 +152,7 @@ func E05LowerBounds(cfg Config) (*Table, error) {
 		for _, k := range []int{1, 2} {
 			r := 4
 			in := pebble.MustInstance(g, pebble.MPP(k, r, ioCost))
-			_, rep, err := bestOf(in, nil)
+			_, rep, err := bestOf(ctx, t, in, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +181,7 @@ func E05LowerBounds(cfg Config) (*Table, error) {
 			if k == 1 {
 				extra["tiled(proof)"] = proofs.MatMulTiled(in, mmIDs)
 			}
-			_, rep, err := bestOf(in, extra)
+			_, rep, err := bestOf(ctx, t, in, extra)
 			if err != nil {
 				return nil, err
 			}
@@ -209,7 +210,7 @@ func E05LowerBounds(cfg Config) (*Table, error) {
 // E06Tightness demonstrates Lemma 6: instances where the Corollary 1
 // bound g·L/k + n/k is matched up to a constant — k independent FFT
 // copies, each pebbled by one processor.
-func E06Tightness(cfg Config) (*Table, error) {
+func E06Tightness(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E06",
 		Title:   "Lemma 6: tightness of the translated bound",
@@ -231,7 +232,7 @@ func E06Tightness(cfg Config) (*Table, error) {
 		g, _ := dag.Union("fft-copies", parts...)
 		r := 4
 		in := pebble.MustInstance(g, pebble.MPP(k, r, ioCost))
-		_, rep, err := bestOf(in, nil)
+		_, rep, err := bestOf(ctx, t, in, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,9 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/gen"
-	"repro/internal/opt"
 	"repro/internal/pebble"
 	"repro/internal/proofs"
 )
@@ -10,7 +11,7 @@ import (
 // E07FairSpeedup reproduces Lemma 7: in the fair comparison (total fast
 // memory fixed at r0, split r = r0/k), the optimum improves by at most a
 // factor k, and k independent chains achieve exactly that factor.
-func E07FairSpeedup(cfg Config) (*Table, error) {
+func E07FairSpeedup(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E07",
 		Title:   "Lemma 7: fair-comparison speedup limit",
@@ -27,12 +28,12 @@ func E07FairSpeedup(cfg Config) (*Table, error) {
 		r0 := 2 * k
 		g := gen.IndependentChains(k, length)
 		in1 := pebble.MustInstance(g, pebble.MPP(1, r0, ioCost))
-		_, rep1, err := bestOf(in1, nil)
+		_, rep1, err := bestOf(ctx, t, in1, nil)
 		if err != nil {
 			return nil, err
 		}
 		inK := pebble.MustInstance(g, pebble.MPP(k, r0/k, ioCost))
-		_, repK, err := bestOf(inK, nil)
+		_, repK, err := bestOf(ctx, t, inK, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -51,14 +52,19 @@ func E07FairSpeedup(cfg Config) (*Table, error) {
 	for _, k := range []int{2} {
 		r0 := 2 * (tiny.MaxInDegree() + 1)
 		in1 := pebble.MustInstance(tiny, pebble.MPP(1, r0, ioCost))
-		res1, err := opt.Exact(in1, 4_000_000)
+		res1, ok1, err := exactIn(ctx, cfg, t, in1, 4_000_000)
 		if err != nil {
 			return nil, err
 		}
 		inK := pebble.MustInstance(tiny, pebble.MPP(k, r0/k, ioCost))
-		resK, err := opt.Exact(inK, 4_000_000)
+		resK, okK, err := exactIn(ctx, cfg, t, inK, 4_000_000)
 		if err != nil {
 			return nil, err
+		}
+		if !ok1 || !okK {
+			// The floor check needs both true optima; without them the
+			// row is skipped and the table stays partial.
+			continue
 		}
 		rt := ratio(resK.Cost, res1.Cost)
 		if rt < 1.0/float64(k)-1e-9 {
@@ -75,7 +81,7 @@ func E07FairSpeedup(cfg Config) (*Table, error) {
 // E08FairBlowup reproduces Lemma 8: in the fair comparison the optimum
 // can grow by ≈ (k−1)/k·g·(Δin−1)+1 when the per-processor split r0/k can
 // no longer hold the working set (cyclic fan chain gadget).
-func E08FairBlowup(cfg Config) (*Table, error) {
+func E08FairBlowup(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E08",
 		Title:   "Lemma 8: fair-comparison cost blowup",
@@ -102,7 +108,7 @@ func E08FairBlowup(cfg Config) (*Table, error) {
 		rk := r0 / tc.k
 		inK := pebble.MustInstance(gdag, pebble.MPP(tc.k, rk, tc.g))
 		starved := proofs.CyclicStarved(inK, ids, tc.delta, tc.delta)
-		_, repK, err := bestOf(inK, map[string]*pebble.Strategy{"starved(proof)": starved})
+		_, repK, err := bestOf(ctx, t, inK, map[string]*pebble.Strategy{"starved(proof)": starved})
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +129,7 @@ func E08FairBlowup(cfg Config) (*Table, error) {
 
 // E09NonMonotone reproduces Lemma 9: the fair-case optimum is not
 // monotone in k — on two cyclic fan chains, k=2 beats both k=1 and k=4.
-func E09NonMonotone(cfg Config) (*Table, error) {
+func E09NonMonotone(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E09",
 		Title:   "Lemma 9: non-monotonicity in k",
@@ -139,21 +145,21 @@ func E09NonMonotone(cfg Config) (*Table, error) {
 	gdag, ids := gen.MultiCyclicFanChain(2, D, delta, n0, delta)
 
 	in1 := pebble.MustInstance(gdag, pebble.MPP(1, r0, ioCost))
-	n1, rep1, err := bestOf(in1, map[string]*pebble.Strategy{
+	n1, rep1, err := bestOf(ctx, t, in1, map[string]*pebble.Strategy{
 		"serial(proof)": proofs.MultiCyclicSerial(in1, ids),
 	})
 	if err != nil {
 		return nil, err
 	}
 	in2 := pebble.MustInstance(gdag, pebble.MPP(2, r0/2, ioCost))
-	n2, rep2, err := bestOf(in2, map[string]*pebble.Strategy{
+	n2, rep2, err := bestOf(ctx, t, in2, map[string]*pebble.Strategy{
 		"per-chain(proof)": proofs.MultiCyclicPerChain(in2, ids),
 	})
 	if err != nil {
 		return nil, err
 	}
 	in4 := pebble.MustInstance(gdag, pebble.MPP(4, r0/4, ioCost))
-	n4, rep4, err := bestOf(in4, map[string]*pebble.Strategy{
+	n4, rep4, err := bestOf(ctx, t, in4, map[string]*pebble.Strategy{
 		"starved(proof)": proofs.MultiCyclicStarved(in4, ids, delta, delta),
 	})
 	if err != nil {

@@ -1,8 +1,9 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/gen"
-	"repro/internal/opt"
 	"repro/internal/pebble"
 	"repro/internal/proofs"
 )
@@ -11,7 +12,7 @@ import (
 // in the practical comparison (same r per processor), doubling the
 // processors on the zipper yields a speedup approaching (Δin−1)/2 — i.e.
 // superlinear in k for large d.
-func E10Superlinear(cfg Config) (*Table, error) {
+func E10Superlinear(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Title:   "Lemma 10: superlinear speedup (zipper)",
@@ -28,14 +29,14 @@ func E10Superlinear(cfg Config) (*Table, error) {
 	for _, d := range []int{4, 8, 12} {
 		g, ids := gen.Zipper(d, n0, 2*ioCost)
 		in1 := pebble.MustInstance(g, pebble.MPP(1, d+2, ioCost))
-		_, rep1, err := bestOf(in1, map[string]*pebble.Strategy{
+		_, rep1, err := bestOf(ctx, t, in1, map[string]*pebble.Strategy{
 			"swap(proof)": proofs.ZipperSwap(in1, ids),
 		})
 		if err != nil {
 			return nil, err
 		}
 		in2 := pebble.MustInstance(g, pebble.MPP(2, d+2, ioCost))
-		_, rep2, err := bestOf(in2, map[string]*pebble.Strategy{
+		_, rep2, err := bestOf(ctx, t, in2, map[string]*pebble.Strategy{
 			"parallel(proof)": proofs.ZipperParallel(in2, ids),
 		})
 		if err != nil {
@@ -63,7 +64,7 @@ func E10Superlinear(cfg Config) (*Table, error) {
 // I/O steps can jump from 0 to Θ(n) when going from 1 to 2 processors
 // (fair zipper) and, more surprisingly, from Θ(n) to 0 (shared-prefix
 // broom, where one processor's recomputation replaces all communication).
-func E11IOJumps(cfg Config) (*Table, error) {
+func E11IOJumps(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E11",
 		Title:   "Section 5: I/O-count jumps in both directions",
@@ -81,14 +82,14 @@ func E11IOJumps(cfg Config) (*Table, error) {
 	g1, ids1 := gen.Zipper(d, n0, 0)
 	r0 := 2*d + 4
 	inA1 := pebble.MustInstance(g1, pebble.MPP(1, r0, ioCost))
-	nameA1, repA1, err := bestOf(inA1, map[string]*pebble.Strategy{
+	nameA1, repA1, err := bestOf(ctx, t, inA1, map[string]*pebble.Strategy{
 		"ample(proof)": proofs.ZipperAmple(inA1, ids1),
 	})
 	if err != nil {
 		return nil, err
 	}
 	inA2 := pebble.MustInstance(g1, pebble.MPP(2, r0/2, ioCost))
-	nameA2, repA2, err := bestOf(inA2, map[string]*pebble.Strategy{
+	nameA2, repA2, err := bestOf(ctx, t, inA2, map[string]*pebble.Strategy{
 		"parallel(proof)":  proofs.ZipperParallel(inA2, ids1),
 		"recompute(proof)": zipperRecomputeAs(inA2, ids1),
 	})
@@ -111,14 +112,14 @@ func E11IOJumps(cfg Config) (*Table, error) {
 	L := 2*ioCost + 1
 	g2, ids2 := gen.SharedPrefixBroom(tt, stride, L)
 	inB1 := pebble.MustInstance(g2, pebble.MPP(1, 3, ioCost))
-	nameB1, repB1, err := bestOf(inB1, map[string]*pebble.Strategy{
+	nameB1, repB1, err := bestOf(ctx, t, inB1, map[string]*pebble.Strategy{
 		"serial(proof)": proofs.BroomSerial(inB1, ids2),
 	})
 	if err != nil {
 		return nil, err
 	}
 	inB2 := pebble.MustInstance(g2, pebble.MPP(2, 3, ioCost))
-	nameB2, repB2, err := bestOf(inB2, map[string]*pebble.Strategy{
+	nameB2, repB2, err := bestOf(ctx, t, inB2, map[string]*pebble.Strategy{
 		"parallel-recompute(proof)": proofs.BroomParallel(inB2, ids2),
 	})
 	if err != nil {
@@ -136,8 +137,11 @@ func E11IOJumps(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		tg, tids := gen.SharedPrefixBroom(2, 1, 2*2+1)
 		tIn1 := pebble.MustInstance(tg, pebble.MPP(1, 3, 2))
-		res1, err := opt.Exact(tIn1, 6_000_000)
-		if err == nil {
+		res1, ok, err := exactIn(ctx, cfg, t, tIn1, 6_000_000)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			// Zero-I/O single-processor alternative: recompute prefixes.
 			// Compare exact OPT against the crafted I/O strategy cost.
 			crafted, err2 := pebble.Replay(tIn1, proofs.BroomSerial(tIn1, tids))

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hardness"
@@ -43,7 +44,7 @@ func e12Pairs() []struct {
 // a q-clique?" into "does a zero-I/O one-shot pebbling within budget R
 // exist?". We verify both directions on matched instance pairs and
 // validate every YES witness by replaying it under the one-shot rules.
-func E12CliqueReduction(cfg Config) (*Table, error) {
+func E12CliqueReduction(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E12",
 		Title:   "Theorem 2 / Figures 3-4: clique reduction",
@@ -67,11 +68,20 @@ func E12CliqueReduction(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := opt.ZeroIOBig(red.Graph, red.R, budget)
+			stage := fmt.Sprintf("E12 %s/%s", pair.name, side.tag)
+			zres, zerr := opt.ZeroIOBigCtx(ctx, red.Graph, red.R, cfg.states(budget))
+			res, ok, err := zeroIOIn(t, stage, zres, zerr)
 			if err != nil {
-				return nil, fmt.Errorf("E12 %s/%s: %w", pair.name, side.tag, err)
+				return nil, fmt.Errorf("%s: %w", stage, err)
 			}
 			want := side.g.HasClique(q)
+			if !ok {
+				// Indeterminate verdict: the pair can't confirm or refute
+				// the claim; record what was explored and move on.
+				t.AddRow(pair.name, side.tag, boolMark(want), di(red.Graph.N()), di(red.R),
+					res.Verdict.String(), di(res.States))
+				continue
+			}
 			if res.Feasible != want {
 				allMatch = false
 			}
@@ -98,7 +108,7 @@ func E12CliqueReduction(cfg Config) (*Table, error) {
 // (vc(G) = N − max-clique(Ḡ), each clique query answered by the Theorem 2
 // construction) and match brute force exactly — the L-reduction direction
 // that makes approximating pebbling cost NP-hard.
-func E13VertexCover(cfg Config) (*Table, error) {
+func E13VertexCover(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Title:   "Theorem 1 / Lemma 11: vertex-cover coupling",
@@ -126,9 +136,17 @@ func E13VertexCover(cfg Config) (*Table, error) {
 		// q = 2, 3, … (a query is feasible iff Ḡ has a q-clique).
 		queries := 0
 		omega := 1 // every non-empty graph has a 1-clique
+		partial := false
 		for qq := 2; qq <= comp.N; qq++ {
-			feasible, usedQuery, err := cliqueQuery(comp, qq)
+			feasible, usedQuery, err := cliqueQuery(ctx, cfg, comp, qq)
 			if err != nil {
+				if opt.IsPartial(err) {
+					// An undecided query breaks the ω(Ḡ) ascent; report
+					// the graph as unresolved instead of guessing.
+					t.MarkPartial(fmt.Sprintf("E13 %s q=%d", tc.name, qq), err)
+					partial = true
+					break
+				}
 				return nil, fmt.Errorf("E13 %s q=%d: %w", tc.name, qq, err)
 			}
 			if usedQuery {
@@ -138,6 +156,10 @@ func E13VertexCover(cfg Config) (*Table, error) {
 				break
 			}
 			omega = qq
+		}
+		if partial {
+			t.AddRow(tc.name, di(tc.g.N), di(tc.g.M()), di(want), "undecided", di(queries), "—")
+			continue
 		}
 		got := tc.g.N - omega
 		match := got == want
@@ -155,7 +177,9 @@ func E13VertexCover(cfg Config) (*Table, error) {
 // structural shortcuts in the degenerate regimes (q = 2 ⟺ any edge;
 // M < C(q,2) ⟺ no; M = C(q,2) ⟺ the edges form exactly a K_q). The
 // second result reports whether a pebbling search was actually used.
-func cliqueQuery(g *hardness.UGraph, q int) (feasible, usedQuery bool, err error) {
+// Partial-stop errors (budget/deadline) propagate for the caller to
+// classify via opt.IsPartial.
+func cliqueQuery(ctx context.Context, cfg Config, g *hardness.UGraph, q int) (feasible, usedQuery bool, err error) {
 	need := q * (q - 1) / 2
 	switch {
 	case q == 2:
@@ -183,7 +207,7 @@ func cliqueQuery(g *hardness.UGraph, q int) (feasible, usedQuery bool, err error
 	if err != nil {
 		return false, false, err
 	}
-	res, err := opt.ZeroIOBig(red.Graph, red.R, 30_000_000)
+	res, err := opt.ZeroIOBigCtx(ctx, red.Graph, red.R, cfg.states(30_000_000))
 	if err != nil {
 		return false, false, err
 	}

@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bsp"
 	"repro/internal/dag"
 	"repro/internal/gen"
-	"repro/internal/opt"
 	"repro/internal/pebble"
 	"repro/internal/sched"
 )
@@ -16,7 +16,7 @@ import (
 // measure the two observable consequences on exactly those classes: the
 // exact solver's explored state space grows exponentially, and greedy
 // leaves a real optimality gap even on these structurally trivial DAGs.
-func E14HardClasses(cfg Config) (*Table, error) {
+func E14HardClasses(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Title:   "Lemma 2: NP-hard DAG classes",
@@ -36,9 +36,13 @@ func E14HardClasses(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E14: generator produced non-2-layer DAG")
 		}
 		in := pebble.MustInstance(g, pebble.MPP(2, g.MaxInDegree()+1, 3))
-		res, err := opt.Exact(in, 30_000_000)
+		res, ok, err := exactIn(ctx, cfg, t, in, 30_000_000)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			t.AddRow("2-layer", di(g.N()), "2", "undecided", di(res.States), "—", "—")
+			continue
 		}
 		twoLayerStates = append(twoLayerStates, res.States)
 		rep, err := sched.Run(sched.Greedy{}, in)
@@ -59,9 +63,13 @@ func E14HardClasses(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E14: %s is not an in-tree", name)
 		}
 		in := pebble.MustInstance(g, pebble.MPP(2, 3, 3))
-		res, err := opt.Exact(in, 30_000_000)
+		res, ok, err := exactIn(ctx, cfg, t, in, 30_000_000)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			t.AddRow("in-tree", di(g.N()), "2", "undecided", di(res.States), "—", "—")
+			continue
 		}
 		rep, err := sched.Run(sched.Greedy{}, in)
 		if err != nil {
@@ -105,7 +113,7 @@ func caterpillarInTree(n int) *dag.Graph {
 // E15BSPEquiv verifies the Section 3.3 equivalence: with r = ∞ (any
 // r ≥ n), a BSP DAG schedule's analytic cost equals the replayed MPP cost
 // of its mechanical translation, on a zoo of DAGs and parameters.
-func E15BSPEquiv(cfg Config) (*Table, error) {
+func E15BSPEquiv(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Title:   "Section 3.3: MPP(r=∞) ≡ BSP DAG scheduling",
@@ -147,7 +155,7 @@ func E15BSPEquiv(cfg Config) (*Table, error) {
 // E16EvictionAblation ablates the greedy scheduler's policy plugins
 // (selection rule, tie-break, eviction) across workloads — motivating the
 // design choice of making Lemma 4's greedy class fully parameterized.
-func E16EvictionAblation(cfg Config) (*Table, error) {
+func E16EvictionAblation(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E16",
 		Title:   "Ablation: greedy policy choices",

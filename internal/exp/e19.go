@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"repro/internal/gen"
 	"repro/internal/pebble"
 	"repro/internal/sched"
@@ -14,7 +16,7 @@ import (
 // verify the two properties the proof needs: the sequential strategy is
 // valid for (k·r)-memory SPP, and its I/O move count is at most k times
 // the parallel I/O move count.
-func E19Sequentialize(cfg Config) (*Table, error) {
+func E19Sequentialize(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E19",
 		Title:   "Lemma 5: the k-to-1 simulation, executed",

@@ -7,13 +7,16 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/opt"
 	"repro/internal/pebble"
 	"repro/internal/sched"
 )
@@ -23,6 +26,22 @@ type Config struct {
 	// Quick shrinks instance sizes so the whole suite runs in seconds
 	// (used by tests); full mode is the default for cmd/mppexp.
 	Quick bool
+	// Timeout bounds one experiment's wall-clock time (0 = unbounded).
+	// RunSafe applies it; an expired deadline yields a partial table, not
+	// an error.
+	Timeout time.Duration
+	// MaxStates caps each exact-solver call's explored states, overriding
+	// the experiment's built-in budget (0 = keep the built-in budget).
+	MaxStates int
+}
+
+// states resolves a solver call's state budget: the config override when
+// set, else the experiment's default for that call.
+func (cfg Config) states(def int) int {
+	if cfg.MaxStates > 0 {
+		return cfg.MaxStates
+	}
+	return def
 }
 
 // Check is one verified claim inside an experiment.
@@ -41,6 +60,19 @@ type Table struct {
 	Rows    [][]string
 	Checks  []Check
 	Notes   []string
+	// Partial marks that at least one solver call inside the experiment
+	// stopped early (budget, deadline, or cancellation), so the recorded
+	// rows/checks cover only what was decided in time. A partial table is
+	// a degraded result, not a failure: Pass() still reflects the checks
+	// that did run.
+	Partial bool
+}
+
+// MarkPartial records an early-stopped stage: the table is flagged
+// Partial and the stop reason is kept as a note.
+func (t *Table) MarkPartial(stage string, err error) {
+	t.Partial = true
+	t.AddNote("partial: %s stopped early: %v", stage, err)
 }
 
 // Pass reports whether every check passed.
@@ -66,11 +98,31 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Experiment regenerates one paper artifact.
+// Experiment regenerates one paper artifact. Run must honor ctx: when the
+// deadline passes mid-experiment, it returns the table built so far with
+// Partial set (via the exactIn/zeroIO helpers) rather than an error.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Table, error)
+	Run   func(ctx context.Context, cfg Config) (*Table, error)
+}
+
+// RunSafe executes one experiment with the config's per-experiment
+// deadline applied and panics isolated: a panicking experiment becomes an
+// error identifying the experiment, never a crashed process. This is the
+// entry point cmd/mppexp and the tests use.
+func RunSafe(ctx context.Context, e Experiment, cfg Config) (t *Table, err error) {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("exp: %s panicked: %v", e.ID, r)
+		}
+	}()
+	return e.Run(ctx, cfg)
 }
 
 // Registry returns all experiments in ID order.
@@ -204,11 +256,18 @@ func heuristics() []sched.Scheduler {
 // any extra pre-built strategies, post-optimizes the winner with
 // sched.Improve, and returns the name and report of the cheapest valid
 // result.
-func bestOf(in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pebble.Report, error) {
+//
+// Per-scheduler failures and panics are never silent: each is recovered
+// in its own goroutine and recorded as a note on t (when non-nil), so a
+// crashing heuristic degrades the portfolio visibly instead of vanishing
+// from it. ctx is forwarded to context-aware schedulers, whose anytime
+// best-so-far result still competes after a deadline.
+func bestOf(ctx context.Context, t *Table, in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pebble.Report, error) {
 	type outcome struct {
-		name  string
-		strat *pebble.Strategy
-		rep   *pebble.Report
+		name    string
+		strat   *pebble.Strategy
+		rep     *pebble.Report
+		failure string // non-empty when the scheduler errored or panicked
 	}
 	hs := heuristics()
 	results := make(chan outcome, len(hs))
@@ -217,17 +276,22 @@ func bestOf(in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pe
 		wg.Add(1)
 		go func(s sched.Scheduler) {
 			defer wg.Done()
-			strat, err := s.Schedule(in)
+			defer func() {
+				if r := recover(); r != nil {
+					results <- outcome{name: s.Name(), failure: fmt.Sprintf("panic: %v", r)}
+				}
+			}()
+			strat, err := sched.ScheduleCtx(ctx, s, in)
 			if err != nil {
-				// A heuristic failing on an exotic instance is tolerated
-				// as long as something succeeds.
+				results <- outcome{name: s.Name(), failure: err.Error()}
 				return
 			}
 			rep, err := pebble.Replay(in, strat)
 			if err != nil {
+				results <- outcome{name: s.Name(), failure: fmt.Sprintf("invalid strategy: %v", err)}
 				return
 			}
-			results <- outcome{s.Name(), strat, rep}
+			results <- outcome{name: s.Name(), strat: strat, rep: rep}
 		}(s)
 	}
 	wg.Wait()
@@ -235,15 +299,26 @@ func bestOf(in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pe
 
 	// Deterministic winner among ties: sort by (cost, name).
 	var all []outcome
+	var failures []string
 	for o := range results {
+		if o.failure != "" {
+			failures = append(failures, o.name+": "+o.failure)
+			continue
+		}
 		all = append(all, o)
+	}
+	sort.Strings(failures)
+	if t != nil {
+		for _, f := range failures {
+			t.AddNote("portfolio: %s", f)
+		}
 	}
 	for name, s := range extra {
 		rep, err := pebble.Replay(in, s)
 		if err != nil {
 			return "", nil, fmt.Errorf("exp: crafted strategy %q invalid: %w", name, err)
 		}
-		all = append(all, outcome{name, s, rep})
+		all = append(all, outcome{name: name, strat: s, rep: rep})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].rep.Cost != all[j].rep.Cost {
@@ -258,12 +333,44 @@ func bestOf(in *pebble.Instance, extra map[string]*pebble.Strategy) (string, *pe
 		bestName, best, bestStrat = all[0].name, all[0].rep, all[0].strat
 	}
 	if best == nil {
-		return "", nil, fmt.Errorf("exp: no scheduler produced a valid strategy for %s", in)
+		return "", nil, fmt.Errorf("exp: no scheduler produced a valid strategy for %s (failures: %s)",
+			in, strings.Join(failures, "; "))
 	}
 	if _, improved, err := sched.Improve(in, bestStrat); err == nil && improved.Cost < best.Cost {
 		bestName, best = bestName+"+improve", improved
 	}
 	return bestName, best, nil
+}
+
+// exactIn runs opt.ExactCtx under the config's budget override. A partial
+// stop (budget/deadline/cancel) marks the table and returns ok=false with
+// the anytime result — callers skip the row or report the incumbent; any
+// other error propagates.
+func exactIn(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, defStates int) (*opt.Result, bool, error) {
+	res, err := opt.ExactCtx(ctx, in, cfg.states(defStates))
+	if err != nil {
+		if opt.IsPartial(err) {
+			t.MarkPartial("Exact("+in.String()+")", err)
+			return res, false, nil
+		}
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// zeroIOIn is exactIn for the zero-I/O decision procedure: pass it the
+// (result, error) pair of an opt.ZeroIOCtx/ZeroIOBigCtx call. An early
+// stop marks the table partial and yields ok=false with the indeterminate
+// result; other errors propagate.
+func zeroIOIn(t *Table, stage string, res *opt.ZeroIOResult, err error) (*opt.ZeroIOResult, bool, error) {
+	if err != nil {
+		if opt.IsPartial(err) {
+			t.MarkPartial(stage, err)
+			return res, false, nil
+		}
+		return nil, false, err
+	}
+	return res, true, nil
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,19 +1,24 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 // TestAllExperimentsQuick runs every registered experiment in quick mode;
-// each must complete and every shape check must pass.
+// each must complete and every shape check must pass. RunSafe is the
+// production entry point, so panic isolation is exercised too.
 func TestAllExperimentsQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab, err := e.Run(Config{Quick: true})
+			tab, err := RunSafe(context.Background(), e, Config{Quick: true})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.Partial {
+				t.Errorf("%s unexpectedly partial without any budget: %v", e.ID, tab.Notes)
 			}
 			if tab.ID != e.ID {
 				t.Errorf("table ID %q ≠ experiment ID %q", tab.ID, e.ID)

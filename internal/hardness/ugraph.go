@@ -54,11 +54,13 @@ func NewUGraph(n int, edges [][2]int) (*UGraph, error) {
 	return &UGraph{N: n, Edges: out}, nil
 }
 
-// MustUGraph is NewUGraph but panics on error.
+// MustUGraph is NewUGraph but panics on error. Use only for literal
+// graphs in tests and fixed gadget constructions; graphs read from
+// external input must go through NewUGraph and handle the error.
 func MustUGraph(n int, edges [][2]int) *UGraph {
 	g, err := NewUGraph(n, edges)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("hardness: MustUGraph on invalid literal graph (programmer error): %v", err))
 	}
 	return g
 }

@@ -18,7 +18,9 @@
 package opt
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/dag"
@@ -26,17 +28,34 @@ import (
 	"repro/internal/pebble"
 )
 
-// ErrBudget is wrapped in errors returned when a search exceeds its state
-// budget.
-var ErrBudget = fmt.Errorf("opt: state budget exhausted")
-
 // Result is the outcome of an exact search.
+//
+// The search is anytime: when it stops early (state budget, deadline, or
+// cancellation — Status reports which) the Result still carries the best
+// incumbent found so far and an admissible lower bound taken at the
+// frontier, so a blown budget degrades to a cost interval instead of
+// discarding everything the search learned.
 type Result struct {
-	Cost   int64 // optimal total cost
-	States int   // states expanded
+	// Cost is the proven optimum when Status is StatusComplete; on a
+	// partial result it equals Incumbent (-1 if no feasible pebbling was
+	// seen before the stop).
+	Cost   int64
+	States int // states expanded
 
-	// Strategy is the reconstructed optimal move sequence (present when
-	// the search was run via ExactWithStrategy; nil from Exact).
+	// Status reports whether the search completed or why it stopped.
+	Status Status
+	// Incumbent is the cheapest feasible pebbling cost discovered, -1 if
+	// none; equal to Cost on a complete run. OPT always lies in
+	// [LowerBound, Incumbent].
+	Incumbent int64
+	// LowerBound is an admissible lower bound on the optimum: the proven
+	// optimum on a complete run, otherwise the minimum f-value left on
+	// the open frontier (g-cost plus the compute-floor heuristic).
+	LowerBound int64
+
+	// Strategy is the reconstructed move sequence (present when the
+	// search was run via ExactWithStrategy; nil from Exact). On a partial
+	// result it replays to the incumbent cost, not the optimum.
 	Strategy *pebble.Strategy
 }
 
@@ -45,26 +64,41 @@ type Result struct {
 // symmetric configurations collapse). The heuristic is the admissible
 // compute floor ⌈uncomputed/k⌉·computeCost — every remaining node costs
 // at least one k-wide compute move. maxStates bounds the number of
-// distinct states visited; exceeding it returns ErrBudget.
+// distinct states visited; exceeding it returns a partial Result plus an
+// error wrapping ErrBudget (see Result for the anytime contract).
 //
 // Exact handles every Params combination: multiprocessor parallel moves,
 // zero compute costs (classic SPP, where Dijkstra's non-negative-edge
 // requirement still holds), and one-shot mode (the computed set joins the
 // search state).
 func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, false, nil)
+	return exact(context.Background(), in, maxStates, false, nil)
+}
+
+// ExactCtx is Exact honoring a context: the search polls ctx and stops
+// with a partial (anytime) result when it is canceled or its deadline
+// passes, returning an error wrapping ctx.Err().
+func ExactCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(ctx, in, maxStates, false, nil)
 }
 
 // ExactWithStrategy is Exact additionally reconstructing one optimal
 // strategy (via parent pointers); the result replays to exactly the
 // optimal cost. Costs slightly more memory per state.
 func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, true, nil)
+	return exact(context.Background(), in, maxStates, true, nil)
+}
+
+// ExactWithStrategyCtx is ExactWithStrategy honoring a context. On a
+// partial stop the returned strategy (if any) replays to the incumbent
+// cost.
+func ExactWithStrategyCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
+	return exact(ctx, in, maxStates, true, nil)
 }
 
 // exact runs the search. tab overrides the state table (tests pass the
 // map-backed hashtab.Ref oracle); nil selects the open-addressing table.
-func exact(in *pebble.Instance, maxStates int, witness bool, tab hashtab.Index) (*Result, error) {
+func exact(ctx context.Context, in *pebble.Instance, maxStates int, witness bool, tab hashtab.Index) (*Result, error) {
 	n := in.Graph.N()
 	if n == 0 {
 		res := &Result{Cost: 0}
@@ -79,7 +113,8 @@ func exact(in *pebble.Instance, maxStates int, witness bool, tab hashtab.Index) 
 	if tab == nil {
 		tab = hashtab.New(stateWords(in.K), 1024)
 	}
-	s := &solver{in: in, n: n, maxStates: maxStates, witness: witness, tab: tab}
+	s := &solver{in: in, ctx: ctx, n: n, maxStates: maxStates, witness: witness, tab: tab,
+		incumbent: math.MaxInt64, incumbentIdx: -1}
 	return s.run()
 }
 
@@ -92,9 +127,16 @@ type parentEdge struct {
 
 type solver struct {
 	in        *pebble.Instance
+	ctx       context.Context
 	n         int
 	maxStates int
 	witness   bool
+
+	// Anytime bookkeeping: the cheapest goal-state g-cost relaxed so far
+	// (MaxInt64 until a feasible pebbling is seen) and, in witness mode,
+	// its table index for incumbent-strategy reconstruction.
+	incumbent    int64
+	incumbentIdx int32
 
 	predMask []uint64 // predecessor bitmask per node
 	sinkMask uint64
@@ -155,14 +197,22 @@ func (s *solver) run() (*Result, error) {
 	s.bq.push(s.heuristic(0), int32(startIdx), 0)
 
 	expanded := 0
+	pops := 0
 	for !s.bq.empty() {
+		if pops&ctxCheckMask == 0 {
+			if s.ctx.Err() != nil {
+				return s.partial(StatusCanceled, expanded, -1), cancelErr(s.ctx, expanded)
+			}
+		}
+		pops++
 		e, _ := s.bq.pop()
 		if e.g > s.dist[e.idx] {
 			continue // stale queue entry
 		}
 		s.cur = append(s.cur[:0], s.tab.Key(int(e.idx))...)
 		if s.isGoal(s.cur) {
-			res := &Result{Cost: e.g, States: expanded}
+			res := &Result{Cost: e.g, States: expanded,
+				Status: StatusComplete, Incumbent: e.g, LowerBound: e.g}
 			if s.witness {
 				strat, err := s.reconstruct(e.idx)
 				if err != nil {
@@ -174,12 +224,48 @@ func (s *solver) run() (*Result, error) {
 		}
 		expanded++
 		if expanded > s.maxStates {
-			return nil, fmt.Errorf("%w after %d states", ErrBudget, expanded)
+			// The popped state was goal-checked but not expanded; its
+			// f-value is still a valid frontier bound.
+			poppedF := e.g + s.heuristic(s.computedWord(s.cur))
+			return s.partial(StatusBudget, expanded, poppedF), budgetErr(expanded)
 		}
 		s.curIdx = e.idx
 		s.expand(e.g)
 	}
 	return nil, fmt.Errorf("opt: no pebbling found (unreachable for valid instances)")
+}
+
+// partial assembles the anytime result of an early stop: the incumbent
+// (best feasible cost relaxed so far, -1 if none) and the admissible
+// frontier lower bound — the minimum f-value over the open queue plus,
+// when a popped state went unexpanded, that state's f. OPT is guaranteed
+// to lie in [LowerBound, Incumbent].
+func (s *solver) partial(st Status, expanded int, poppedF int64) *Result {
+	res := &Result{Cost: -1, States: expanded, Status: st, Incumbent: -1}
+	lb := int64(math.MaxInt64)
+	if f, ok := s.bq.minF(); ok {
+		lb = f
+	}
+	if poppedF >= 0 && poppedF < lb {
+		lb = poppedF
+	}
+	if s.incumbent < math.MaxInt64 {
+		res.Incumbent = s.incumbent
+		res.Cost = s.incumbent
+		if lb > s.incumbent {
+			lb = s.incumbent
+		}
+		if s.witness && s.incumbentIdx >= 0 {
+			if strat, err := s.reconstruct(s.incumbentIdx); err == nil {
+				res.Strategy = strat
+			}
+		}
+	}
+	if lb == math.MaxInt64 {
+		lb = 0 // empty frontier and no incumbent: nothing is known
+	}
+	res.LowerBound = lb
+	return res
 }
 
 // reconstruct walks parent pointers from the goal back to state 0 (the
@@ -255,6 +341,14 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 	}
 	if s.witness {
 		s.parent[idx] = parentEdge{from: s.curIdx, move: moveOf(kind, choice)}
+	}
+	// Anytime incumbent: any goal state relaxed at cost c witnesses a
+	// feasible pebbling of cost c, even though optimality is only proven
+	// when the goal is popped. Both the table and the oracle run this
+	// identically, so early-stop results stay byte-identical.
+	if cost < s.incumbent && s.isGoal(s.cand) {
+		s.incumbent = cost
+		s.incumbentIdx = int32(idx)
 	}
 	s.bq.push(cost+s.heuristic(s.computedWord(s.cand)), int32(idx), cost)
 }

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+
 	"repro/internal/dag"
 	"repro/internal/hashtab"
 	"repro/internal/pebble"
@@ -18,13 +20,13 @@ import (
 
 // ExactOracle is Exact backed by the map-based reference state table.
 func ExactOracle(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, false, hashtab.NewRef(stateWords(in.K)))
+	return exact(context.Background(), in, maxStates, false, hashtab.NewRef(stateWords(in.K)))
 }
 
 // ExactWithStrategyOracle is ExactWithStrategy backed by the map-based
 // reference state table.
 func ExactWithStrategyOracle(in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(in, maxStates, true, hashtab.NewRef(stateWords(in.K)))
+	return exact(context.Background(), in, maxStates, true, hashtab.NewRef(stateWords(in.K)))
 }
 
 // ZeroIOBigOracle is ZeroIOBig backed by the map-based reference memo.
@@ -33,5 +35,5 @@ func ZeroIOBigOracle(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) 
 	if words == 0 {
 		words = 1
 	}
-	return zeroIOBig(g, r, maxStates, hashtab.NewRef(words))
+	return zeroIOBig(context.Background(), g, r, maxStates, hashtab.NewRef(words))
 }

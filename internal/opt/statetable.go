@@ -72,3 +72,17 @@ func (q *bucketQueue) pop() (bqEntry, bool) {
 }
 
 func (q *bucketQueue) empty() bool { return q.size == 0 }
+
+// minF returns the smallest f-value currently queued (false when empty).
+// With the consistent heuristic this is an admissible lower bound on any
+// solution still undiscovered — the anytime bound reported by an early
+// stop. Advancing cur past empty buckets is safe: pop does the same.
+func (q *bucketQueue) minF() (int64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	for len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	return int64(q.cur), true
+}

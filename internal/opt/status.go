@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is wrapped in errors returned when a search exceeds its state
+// budget. Match with errors.Is, never by string.
+var ErrBudget = errors.New("opt: state budget exhausted")
+
+// Status describes how a search ended. Every solver is anytime: a search
+// that stops early still returns its result struct (incumbent, bounds,
+// explored-state count) alongside the error carrying the stop reason.
+type Status uint8
+
+const (
+	// StatusComplete: the search ran to a proven optimum / definite verdict.
+	StatusComplete Status = iota
+	// StatusBudget: the state budget was exhausted first.
+	StatusBudget
+	// StatusCanceled: the context was canceled or its deadline expired.
+	StatusCanceled
+)
+
+// Partial reports whether the search stopped before proving its answer.
+func (s Status) Partial() bool { return s != StatusComplete }
+
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusBudget:
+		return "budget"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Verdict is the three-valued answer of a decision search: a search cut
+// short by budget or cancellation has seen neither a witness nor an
+// exhausted space, so its answer is indeterminate rather than "no".
+type Verdict uint8
+
+const (
+	// VerdictIndeterminate: the search stopped before deciding.
+	VerdictIndeterminate Verdict = iota
+	// VerdictFeasible: a witness was found.
+	VerdictFeasible
+	// VerdictInfeasible: the (pruned) space was exhausted without one.
+	VerdictInfeasible
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictIndeterminate:
+		return "indeterminate"
+	case VerdictFeasible:
+		return "feasible"
+	case VerdictInfeasible:
+		return "infeasible"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// IsPartial reports whether err marks an early stop (state budget,
+// deadline, or cancellation) rather than a hard failure. Callers that can
+// degrade gracefully should treat partial errors as "use the incumbent",
+// not as fatal.
+func IsPartial(err error) bool {
+	return errors.Is(err, ErrBudget) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// budgetErr is the single wrapping shared by all three solvers, so
+// errors.Is(err, ErrBudget) holds on every budget-exceeded path.
+func budgetErr(states int) error {
+	return fmt.Errorf("%w after %d states", ErrBudget, states)
+}
+
+// cancelErr wraps the context's error so errors.Is(err,
+// context.Canceled/DeadlineExceeded) holds on every cancellation path.
+func cancelErr(ctx context.Context, states int) error {
+	return fmt.Errorf("opt: search stopped after %d states: %w", states, ctx.Err())
+}
+
+// ctxCheckMask throttles context polls: the solvers check ctx.Err() once
+// every ctxCheckMask+1 units of work, keeping cancellation latency in the
+// microseconds without a syscall-per-state cost.
+const ctxCheckMask = 1023
+
+// verdictOf maps a completed decision search's boolean answer to a Verdict.
+func verdictOf(feasible bool) Verdict {
+	if feasible {
+		return VerdictFeasible
+	}
+	return VerdictInfeasible
+}
+
+// statusOfStop classifies an early-stop error into the Status it implies.
+func statusOfStop(err error) Status {
+	switch {
+	case err == nil:
+		return StatusComplete
+	case errors.Is(err, ErrBudget):
+		return StatusBudget
+	default:
+		return StatusCanceled
+	}
+}

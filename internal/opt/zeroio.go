@@ -1,7 +1,7 @@
 package opt
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/dag"
 	"repro/internal/hashtab"
@@ -10,11 +10,20 @@ import (
 
 // ZeroIOResult reports the outcome of the zero-I/O decision procedure.
 type ZeroIOResult struct {
+	// Feasible is true when a witness was found. On a partial run it is
+	// false but means "not decided" — check Verdict, not this field, when
+	// the search may have stopped early.
 	Feasible bool
-	// Order is a witness compute order when Feasible (nil otherwise).
+	// Verdict is the three-valued answer: feasible, infeasible, or
+	// indeterminate when the search stopped on budget or cancellation.
+	Verdict Verdict
+	// Order is a witness compute order when feasible (nil otherwise).
 	Order []dag.NodeID
-	// States is the number of distinct computed-sets explored.
+	// States is the number of distinct computed-sets explored, including
+	// the ones explored before an early stop.
 	States int
+	// Status reports whether the search completed or why it stopped.
+	Status Status
 }
 
 // ZeroIO decides whether a one-shot SPP pebbling of I/O cost 0 exists for
@@ -32,14 +41,28 @@ type ZeroIOResult struct {
 //
 // The search memoizes failed computed-sets; worst-case exponential, as it
 // must be unless P = NP. maxStates bounds the number of distinct sets
-// explored; exceeding it returns ErrBudget.
+// explored; exceeding it returns a partial result (explored-state count,
+// indeterminate verdict) plus an error wrapping ErrBudget.
+//
+// DAGs beyond the single-word mask capacity (62 nodes) are dispatched to
+// the bitset-backed ZeroIOBig automatically; the two variants decide the
+// same predicate.
 func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	return ZeroIOCtx(context.Background(), g, r, maxStates)
+}
+
+// ZeroIOCtx is ZeroIO honoring a context: the search polls ctx and stops
+// with an indeterminate partial result when it is canceled or its
+// deadline passes.
+func ZeroIOCtx(ctx context.Context, g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 	n := g.N()
-	if n > 62 {
-		return nil, fmt.Errorf("opt: ZeroIO supports at most 62 nodes, got %d", n)
+	if n > zeroIOWordCap {
+		// A single uint64 mask cannot hold the computed-set; fall through
+		// to the bitset variant instead of truncating or refusing.
+		return zeroIOBig(ctx, g, r, maxStates, nil)
 	}
 	if n == 0 {
-		return &ZeroIOResult{Feasible: true}, nil
+		return &ZeroIOResult{Feasible: true, Verdict: VerdictFeasible}, nil
 	}
 
 	predMask := make([]uint64, n)
@@ -90,7 +113,10 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		}
 		states++
 		if states > maxStates {
-			return false, fmt.Errorf("%w after %d states", ErrBudget, states)
+			return false, budgetErr(states)
+		}
+		if states&ctxCheckMask == 0 && ctx.Err() != nil {
+			return false, cancelErr(ctx, states)
 		}
 		live := liveSet(c)
 		for v := 0; v < n; v++ {
@@ -120,11 +146,14 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 		return false, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return &ZeroIOResult{Verdict: VerdictIndeterminate, Status: StatusCanceled}, cancelErr(ctx, 0)
+	}
 	ok, err := rec(0)
 	if err != nil {
-		return nil, err
+		return &ZeroIOResult{States: states, Verdict: VerdictIndeterminate, Status: statusOfStop(err)}, err
 	}
-	res := &ZeroIOResult{Feasible: ok, States: states}
+	res := &ZeroIOResult{Feasible: ok, States: states, Verdict: verdictOf(ok)}
 	if ok {
 		// order was accumulated in reverse (post-order of the successful
 		// spine); reverse it into execution order.
@@ -135,6 +164,12 @@ func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 	}
 	return res, nil
 }
+
+// zeroIOWordCap is the largest node count the single-uint64-mask solver
+// accepts. 62 leaves headroom below the 64-bit word so `1<<n` arithmetic
+// can never overflow, matching the Exact solver's packed-state cap;
+// larger DAGs auto-dispatch to the bitset variant.
+const zeroIOWordCap = 62
 
 // ZeroIOStrategy converts a witness order from ZeroIO into an executable
 // one-shot SPP strategy (computes in order, deleting pebbles as soon as

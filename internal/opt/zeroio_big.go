@@ -1,7 +1,7 @@
 package opt
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
@@ -10,9 +10,18 @@ import (
 
 // ZeroIOBig is ZeroIO for DAGs of arbitrary size, using bitsets instead
 // of single-word masks. It is used by the hardness reductions, whose
-// instances exceed 62 nodes. Same semantics as ZeroIO.
+// instances exceed 62 nodes. Same semantics as ZeroIO, including anytime
+// behavior: on budget or cancellation it returns the explored-state count
+// with an indeterminate verdict.
 func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
-	return zeroIOBig(g, r, maxStates, nil)
+	return zeroIOBig(context.Background(), g, r, maxStates, nil)
+}
+
+// ZeroIOBigCtx is ZeroIOBig honoring a context: the search polls ctx and
+// stops with an indeterminate partial result when it is canceled or its
+// deadline passes.
+func ZeroIOBigCtx(ctx context.Context, g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	return zeroIOBig(ctx, g, r, maxStates, nil)
 }
 
 // zeroIOBig runs the search. failed overrides the failure memo (tests
@@ -20,10 +29,13 @@ func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
 // open-addressing table. The memo is keyed on the raw words of the
 // computed-set bitset, appended into a reusable buffer — no per-state
 // string key is ever built.
-func zeroIOBig(g *dag.Graph, r int, maxStates int, failed hashtab.Index) (*ZeroIOResult, error) {
+func zeroIOBig(ctx context.Context, g *dag.Graph, r int, maxStates int, failed hashtab.Index) (*ZeroIOResult, error) {
 	n := g.N()
 	if n == 0 {
-		return &ZeroIOResult{Feasible: true}, nil
+		return &ZeroIOResult{Feasible: true, Verdict: VerdictFeasible}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &ZeroIOResult{Verdict: VerdictIndeterminate, Status: StatusCanceled}, cancelErr(ctx, 0)
 	}
 	isSink := make([]bool, n)
 	for _, v := range g.Sinks() {
@@ -139,7 +151,10 @@ func zeroIOBig(g *dag.Graph, r int, maxStates int, failed hashtab.Index) (*ZeroI
 		}
 		states++
 		if states > maxStates {
-			return false, fmt.Errorf("%w after %d states", ErrBudget, states)
+			return false, budgetErr(states)
+		}
+		if states&ctxCheckMask == 0 && ctx.Err() != nil {
+			return false, cancelErr(ctx, states)
 		}
 		liveCount := live.Count()
 		// Dominance rule: a computable node whose computation immediately
@@ -201,9 +216,9 @@ func zeroIOBig(g *dag.Graph, r int, maxStates int, failed hashtab.Index) (*ZeroI
 	}
 	ok, err := rec()
 	if err != nil {
-		return nil, err
+		return &ZeroIOResult{States: states, Verdict: VerdictIndeterminate, Status: statusOfStop(err)}, err
 	}
-	res := &ZeroIOResult{Feasible: ok, States: states}
+	res := &ZeroIOResult{Feasible: ok, States: states, Verdict: verdictOf(ok)}
 	if ok {
 		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 			order[i], order[j] = order[j], order[i]

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -226,6 +228,41 @@ func TestRandomRestartGreedy(t *testing.T) {
 	// often better. Just sanity-check it is within the Lemma 1 bounds.
 	if a.Cost > UpperBoundCost(in) || a.Cost < LowerBoundCost(in) {
 		t.Errorf("random greedy cost %d outside Lemma 1 bounds", a.Cost)
+	}
+}
+
+func TestRandomRestartGreedyCancellation(t *testing.T) {
+	g := gen.RandomDAG(40, 0.1, 3, 2)
+	in := pebble.MustInstance(g, pebble.MPP(2, g.MaxInDegree()+2, 3))
+
+	// Already-cancelled context, no completed restart: typed error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (RandomRestartGreedy{Seed: 1}).ScheduleCtx(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from cancelled ctx, got %v", err)
+	}
+
+	// ScheduleCtx with a live context matches the plain Schedule result
+	// (anytime must not perturb the deterministic restart sequence).
+	full, err := Run(RandomRestartGreedy{Seed: 3, Restarts: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RandomRestartGreedy{Seed: 3, Restarts: 4}.ScheduleCtx(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pebble.Replay(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost != full.Cost {
+		t.Errorf("ScheduleCtx cost %d != Schedule cost %d", rep.Cost, full.Cost)
+	}
+
+	// ScheduleCtx dispatch: a plain Scheduler without ctx support still runs.
+	if _, err := ScheduleCtx(context.Background(), Baseline{}, in); err != nil {
+		t.Fatalf("ScheduleCtx(Baseline): %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -27,6 +28,13 @@ func (r RandomRestartGreedy) Name() string {
 
 // Schedule implements Scheduler.
 func (r RandomRestartGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	return r.ScheduleCtx(context.Background(), in)
+}
+
+// ScheduleCtx implements CtxScheduler: the restart loop is anytime — when
+// the context expires it returns the cheapest strategy found so far, and
+// errors only if not a single restart completed in time.
+func (r RandomRestartGreedy) ScheduleCtx(ctx context.Context, in *pebble.Instance) (*pebble.Strategy, error) {
 	restarts := r.Restarts
 	if restarts <= 0 {
 		restarts = 8
@@ -36,6 +44,12 @@ func (r RandomRestartGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, er
 	var bestCost int64 = -1
 	var lastErr error
 	for i := 0; i < restarts; i++ {
+		if err := ctx.Err(); err != nil {
+			if best != nil {
+				return best, nil
+			}
+			return nil, fmt.Errorf("sched: random restarts canceled before any completed: %w", err)
+		}
 		e := newGreedyEngine(in, Greedy{Select: r.Select, Evict: r.Evict})
 		e.randomTie = rand.New(rand.NewSource(rng.Int63()))
 		s, err := e.run()

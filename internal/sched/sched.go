@@ -17,6 +17,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pebble"
@@ -30,9 +31,34 @@ type Scheduler interface {
 	Schedule(in *pebble.Instance) (*pebble.Strategy, error)
 }
 
+// CtxScheduler is implemented by schedulers that honor deadlines and
+// cancellation. ScheduleCtx either returns the best strategy found before
+// the context expired (anytime behavior, preferred) or the context's
+// error when nothing valid was produced in time.
+type CtxScheduler interface {
+	Scheduler
+	ScheduleCtx(ctx context.Context, in *pebble.Instance) (*pebble.Strategy, error)
+}
+
+// ScheduleCtx runs s under ctx: context-aware schedulers get the context
+// forwarded; plain schedulers run to completion as before (the one-shot
+// greedy and partitioned schedulers are effectively instant — only
+// iterative schedulers need the seam).
+func ScheduleCtx(ctx context.Context, s Scheduler, in *pebble.Instance) (*pebble.Strategy, error) {
+	if cs, ok := s.(CtxScheduler); ok {
+		return cs.ScheduleCtx(ctx, in)
+	}
+	return s.Schedule(in)
+}
+
 // Run schedules and replays in one step, returning the validated report.
 func Run(s Scheduler, in *pebble.Instance) (*pebble.Report, error) {
-	strat, err := s.Schedule(in)
+	return RunCtx(context.Background(), s, in)
+}
+
+// RunCtx is Run honoring a context (see ScheduleCtx).
+func RunCtx(ctx context.Context, s Scheduler, in *pebble.Instance) (*pebble.Report, error) {
+	strat, err := ScheduleCtx(ctx, s, in)
 	if err != nil {
 		return nil, fmt.Errorf("sched: %s: %w", s.Name(), err)
 	}

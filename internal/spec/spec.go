@@ -19,8 +19,16 @@ pyramid:H | fft:LOGN | matmul:N | zipper:D,LEN[,TAIL] | fanchain:D,LEN |
 cyclic:D,DELTA,LEN,STRIDE | broom:T,STRIDE,PREFIX | trapg:D,M |
 random:N,P,MAXIN,SEED | twolayer:S,T,P,SEED | file:PATH`
 
-// ParseDAG builds a DAG from a specification string.
-func ParseDAG(s string) (*dag.Graph, error) {
+// ParseDAG builds a DAG from a specification string. Generator panics on
+// out-of-range parameters (e.g. a zipper whose tail exceeds its length)
+// are converted to errors: a malformed CLI flag must produce a usage
+// message, never a crash.
+func ParseDAG(s string) (g *dag.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("invalid DAG spec %q: %v", s, r)
+		}
+	}()
 	kind, arg, _ := strings.Cut(s, ":")
 	switch kind {
 	case "chain":
@@ -170,7 +178,7 @@ func ints(spec string, want int) ([]int, error) {
 
 // SchedulerSyntax documents the accepted -sched specifications.
 const SchedulerSyntax = `baseline | greedy[:count|fraction,low|high,lru|fewest] |
-partitioned:one|components|levels|blocks | all`
+partitioned:one|components|levels|blocks | random[:SEED[,RESTARTS]] | all`
 
 // ParseSchedulers parses a scheduler specification; "all" returns the
 // whole portfolio.
@@ -185,12 +193,26 @@ func ParseSchedulers(s string) ([]sched.Scheduler, error) {
 			sched.Partitioned{Assign: sched.AssignComponents, AssignName: "components"},
 			sched.Partitioned{Assign: sched.AssignLevelRoundRobin, AssignName: "levels"},
 			sched.Partitioned{Assign: sched.AssignTopoBlocks, AssignName: "blocks"},
+			sched.RandomRestartGreedy{},
 		}, nil
 	}
 	kind, arg, _ := strings.Cut(s, ":")
 	switch kind {
 	case "baseline":
 		return []sched.Scheduler{sched.Baseline{}}, nil
+	case "random":
+		rg := sched.RandomRestartGreedy{}
+		if arg != "" {
+			v, err := ints(arg, 1)
+			if err != nil {
+				return nil, fmt.Errorf("random wants SEED[,RESTARTS]: %w", err)
+			}
+			rg.Seed = int64(v[0])
+			if len(v) > 1 {
+				rg.Restarts = v[1]
+			}
+		}
+		return []sched.Scheduler{rg}, nil
 	case "greedy":
 		gr := sched.Greedy{}
 		if arg != "" {

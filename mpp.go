@@ -23,7 +23,7 @@
 //	proofs   the explicit strategies the paper's proofs construct
 //	bsp      BSP DAG scheduling (the r = ∞ specialization)
 //	hardness NP-hardness reduction machinery (Theorem 2, Lemma 11)
-//	exp      experiment harness (E01…E16)
+//	exp      experiment harness (E01…E19)
 //
 // Quick start:
 //
@@ -34,8 +34,11 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/dag"
 	"repro/internal/exp"
+	"repro/internal/opt"
 	"repro/internal/pebble"
 	"repro/internal/sched"
 )
@@ -58,7 +61,55 @@ type (
 	Scheduler = sched.Scheduler
 	// Experiment regenerates one paper artifact.
 	Experiment = exp.Experiment
+	// OptResult is the exact solver's (possibly partial) answer: the
+	// optimum when Status is complete, otherwise an incumbent/lower-bound
+	// bracket.
+	OptResult = opt.Result
+	// ZeroIOResult is the zero-I/O decision solver's answer, with a
+	// three-valued Verdict when the search was cut short.
+	ZeroIOResult = opt.ZeroIOResult
+	// SearchStatus says whether a search completed or which budget
+	// stopped it.
+	SearchStatus = opt.Status
 )
+
+// ErrBudget is returned (wrapped) when a solver exhausts its state
+// budget; detect with errors.Is(err, ErrBudget) or IsPartial.
+var ErrBudget = opt.ErrBudget
+
+// IsPartial reports whether a solver error means "stopped early with a
+// usable partial result" (state budget, deadline, or cancellation)
+// rather than a hard failure.
+func IsPartial(err error) bool { return opt.IsPartial(err) }
+
+// Exact computes the optimal pebbling cost by exhaustive search,
+// exploring at most maxStates configurations. On budget exhaustion it
+// returns the best incumbent found plus a lower bound alongside a
+// partial-status error.
+func Exact(in *Instance, maxStates int) (*OptResult, error) { return opt.Exact(in, maxStates) }
+
+// ExactCtx is Exact with cancellation: the search also stops when ctx
+// expires, again returning its incumbent/lower-bound bracket.
+func ExactCtx(ctx context.Context, in *Instance, maxStates int) (*OptResult, error) {
+	return opt.ExactCtx(ctx, in, maxStates)
+}
+
+// ZeroIO decides whether g has a zero-I/O pebbling with r red pebbles
+// (the Theorem 2 decision problem). Interrupted runs report
+// VerdictIndeterminate.
+func ZeroIO(g *Graph, r, maxStates int) (*ZeroIOResult, error) { return opt.ZeroIO(g, r, maxStates) }
+
+// ZeroIOCtx is ZeroIO with cancellation.
+func ZeroIOCtx(ctx context.Context, g *Graph, r, maxStates int) (*ZeroIOResult, error) {
+	return opt.ZeroIOCtx(ctx, g, r, maxStates)
+}
+
+// ScheduleCtx runs a scheduler under a context; schedulers that support
+// cancellation stop (anytime ones return their best-so-far strategy),
+// others run to completion.
+func ScheduleCtx(ctx context.Context, s Scheduler, in *Instance) (*Strategy, error) {
+	return sched.ScheduleCtx(ctx, s, in)
+}
 
 // MPP returns the paper's standard parameters: k processors, r red
 // pebbles each, I/O cost g, compute cost 1.
@@ -74,5 +125,5 @@ func NewInstance(g *Graph, p Params) (*Instance, error) { return pebble.NewInsta
 // Replay validates a strategy and returns its cost report.
 func Replay(in *Instance, s *Strategy) (*Report, error) { return pebble.Replay(in, s) }
 
-// Experiments returns the full experiment registry (E01…E16).
+// Experiments returns the full experiment registry (E01…E19).
 func Experiments() []Experiment { return exp.Registry() }

@@ -25,6 +25,12 @@ go build ./...
 echo "== go test =="
 go test ${SHORT:+-short} ./...
 
+echo "== go test -race (quick) =="
+# The anytime/cancellation paths run schedulers and solvers on multiple
+# goroutines (portfolio bestOf, mppexp -j); race-check the packages that
+# share state across them. -short keeps this a smoke, not a second CI.
+go test -race -short ./internal/opt/ ./internal/sched/ ./internal/exp/
+
 echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
 
