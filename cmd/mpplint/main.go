@@ -1,0 +1,82 @@
+// Command mpplint runs the project's static-analysis suite
+// (internal/lint) over the repository: invariants of the anytime search
+// stack and the allocation-free hot path that the compiler cannot check.
+//
+// Usage:
+//
+//	mpplint ./...              # lint every package in the module
+//	mpplint ./internal/opt     # lint one package
+//	mpplint -json ./...        # machine-readable findings
+//	mpplint -list              # describe the analyzers and exit
+//
+// Suppress a finding with a trailing or preceding comment carrying a
+// mandatory reason:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type-check errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		analyzers := lint.Analyzers()
+		sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fail(err)
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		got, err := loader.Load(pat)
+		if err != nil {
+			fail(err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, loader.ModuleRoot); err != nil {
+			fail(err)
+		}
+	} else if err := lint.WriteText(os.Stdout, diags, loader.ModuleRoot); err != nil {
+		fail(err)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpplint:", err)
+	os.Exit(2)
+}

@@ -25,7 +25,8 @@ type Set struct {
 	n     int
 }
 
-// New returns an empty set with capacity for IDs in [0, n).
+// New returns an empty set with capacity for IDs in [0, n). A negative
+// capacity panics — a programmer error, like a negative make() length.
 func New(n int) *Set {
 	if n < 0 {
 		panic("bitset: negative capacity")
@@ -45,6 +46,8 @@ func FromSlice(n int, ids []int) *Set {
 // Cap returns the capacity (the exclusive upper bound on member IDs).
 func (s *Set) Cap() int { return s.n }
 
+// check panics when id i is outside the set's capacity — the bitset
+// equivalent of an index-out-of-range programmer error.
 func (s *Set) check(i int) {
 	if i < 0 || i >= s.n {
 		panic(fmt.Sprintf("bitset: id %d out of range [0,%d)", i, s.n))
@@ -108,6 +111,8 @@ func (s *Set) CopyFrom(t *Set) {
 	copy(s.words, t.words)
 }
 
+// sameCap panics when the two sets' capacities differ — mixing universes
+// in a set operation is a programmer error.
 func (s *Set) sameCap(t *Set) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))

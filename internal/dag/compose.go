@@ -50,7 +50,9 @@ func Serial(name string, graphs ...*Graph) (*Graph, []NodeID) {
 
 // InducedSubgraph returns the subgraph induced by keep (which must be
 // closed under nothing in particular — edges with an endpoint outside keep
-// are dropped). The second result maps old IDs to new IDs (-1 if dropped).
+// are dropped). The second result maps old IDs to new IDs (-1 if
+// dropped). A keep ID outside g panics — a programmer error, like
+// indexing out of range.
 func InducedSubgraph(name string, g *Graph, keep []NodeID) (*Graph, []NodeID) {
 	remap := make([]NodeID, g.N())
 	for i := range remap {

@@ -55,7 +55,7 @@ func E04GreedyTraps(ctx context.Context, cfg Config) (*Table, error) {
 		}
 		worst, least := int64(0), int64(math.MaxInt64)
 		for _, gv := range greedyVariants() {
-			rep, err := sched.Run(gv, in)
+			rep, err := sched.RunCtx(ctx, gv, in)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +93,7 @@ func E04GreedyTraps(ctx context.Context, cfg Config) (*Table, error) {
 		}
 		worst, least := int64(0), int64(math.MaxInt64)
 		for _, gv := range greedyVariants() {
-			rep, err := sched.Run(gv, in)
+			rep, err := sched.RunCtx(ctx, gv, in)
 			if err != nil {
 				return nil, err
 			}

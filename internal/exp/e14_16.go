@@ -128,6 +128,9 @@ func E15BSPEquiv(ctx context.Context, cfg Config) (*Table, error) {
 	}
 	allEq := true
 	for name, mk := range zoo {
+		if ctxDone(ctx, t, "E15 zoo") {
+			return t, nil
+		}
 		g := mk()
 		for _, k := range []int{2, 3} {
 			for _, ioCost := range []int{1, 5} {
@@ -183,7 +186,7 @@ func E16EvictionAblation(ctx context.Context, cfg Config) (*Table, error) {
 		best := int64(-1)
 		costs := map[string]*pebble.Report{}
 		for _, gv := range greedyVariants() {
-			rep, err := sched.Run(gv, in)
+			rep, err := sched.RunCtx(ctx, gv, in)
 			if err != nil {
 				return nil, err
 			}

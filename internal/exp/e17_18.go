@@ -58,7 +58,7 @@ func E17AsyncRelaxation(ctx context.Context, cfg Config) (*Table, error) {
 		bestCost := int64(-1)
 		var bestRatio float64
 		for _, s := range schedulers {
-			strat, err := s.Schedule(in)
+			strat, err := sched.ScheduleCtx(ctx, s, in)
 			if err != nil {
 				return nil, fmt.Errorf("E17 %s/%s: %w", w.name, s.Name(), err)
 			}

@@ -50,7 +50,7 @@ func E19Sequentialize(ctx context.Context, cfg Config) (*Table, error) {
 	allOK := true
 	for _, z := range zoo {
 		in := z.mk()
-		strat, err := (sched.Greedy{}).Schedule(in)
+		strat, err := sched.ScheduleCtx(ctx, sched.Greedy{}, in)
 		if err != nil {
 			return nil, err
 		}

@@ -342,6 +342,17 @@ func bestOf(ctx context.Context, t *Table, in *pebble.Instance, extra map[string
 	return bestName, best, nil
 }
 
+// ctxDone polls ctx at a loop boundary. When the deadline has passed it
+// marks the table partial (the experiment contract: return what was
+// built, not an error) and tells the caller to stop iterating.
+func ctxDone(ctx context.Context, t *Table, stage string) bool {
+	if err := ctx.Err(); err != nil {
+		t.MarkPartial(stage, err)
+		return true
+	}
+	return false
+}
+
 // exactIn runs opt.ExactCtx under the config's budget override. A partial
 // stop (budget/deadline/cancel) marks the table and returns ok=false with
 // the anytime result — callers skip the row or report the incumbent; any

@@ -23,6 +23,10 @@ type CyclicIDs struct {
 // ρ = r−δ−2 pool slice resident and must stream in the remaining
 // ≈ δ·(1−ρ/D) inputs of every chain node, which for ρ ≈ D/k approaches
 // the (k−1)/k·g·(Δ_in−1) per-node I/O of the lemma.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func CyclicFanChain(D, delta, chainLen, stride int) (*dag.Graph, *CyclicIDs) {
 	if D < 1 || delta < 1 || delta > D || chainLen < 1 || stride < 1 {
 		panic(fmt.Sprintf("gen: CyclicFanChain(D=%d, δ=%d, n=%d, stride=%d): invalid parameters",
@@ -64,6 +68,10 @@ type MultiCyclicIDs struct {
 // and four processors have r₀/4 = (D+2)/2 < D+2, so both active
 // processors drown in per-node pool streaming and the optimum rises
 // above the two-processor cost.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func MultiCyclicFanChain(c, D, delta, chainLen, stride int) (*dag.Graph, *MultiCyclicIDs) {
 	if c < 1 {
 		panic("gen: MultiCyclicFanChain: need c ≥ 1")

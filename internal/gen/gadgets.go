@@ -27,6 +27,10 @@ type BroomIDs struct {
 // shared parallel steps and the optimal pebbling needs zero I/O.
 //
 // Δ_in = 2, so r ≥ 3 suffices.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func SharedPrefixBroom(t, stride, prefixLen int) (*dag.Graph, *BroomIDs) {
 	if t < 1 || stride < 1 || prefixLen < 1 {
 		panic(fmt.Sprintf("gen: SharedPrefixBroom(%d,%d,%d): parameters must be ≥ 1", t, stride, prefixLen))
@@ -81,6 +85,10 @@ type TrapGIDs struct {
 // in-neighbors) keep w_i's red-predecessor *fraction* strictly below 1,
 // so fraction-greedy falls into the same trap. The optimum interleaves
 // w_i right after t_i with zero I/O given r = d+5.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func GreedyTrapG(d, m int) (*dag.Graph, *TrapGIDs) {
 	if d < 2 || m < 1 {
 		panic(fmt.Sprintf("gen: GreedyTrapG(d=%d, m=%d): need d ≥ 2, m ≥ 1", d, m))
@@ -133,6 +141,10 @@ type TrapDeltaIDs struct {
 //
 // Sized so both greedy and the optimum compute n ± O(1) nodes when the
 // trap fails to spring; the experiment measures the realized ratio.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func GreedyTrapDelta(d, q, blocks int) (*dag.Graph, *TrapDeltaIDs) {
 	if d < 2 || q < 1 || blocks < 1 {
 		panic(fmt.Sprintf("gen: GreedyTrapDelta(d=%d, q=%d, blocks=%d): need d ≥ 2, q ≥ 1, blocks ≥ 1", d, q, blocks))

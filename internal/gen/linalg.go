@@ -18,6 +18,10 @@ import (
 // Θ(n³) nodes and the long dependency chains characteristic of the
 // right-looking algorithm, giving a workload with far less level
 // parallelism than MatMul.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func LU(n int) *dag.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("gen: LU(%d): need n ≥ 1", n))
@@ -51,6 +55,10 @@ func LU(n int) *dag.Graph {
 // width-wide 3-point stencil: cell (t, i) depends on (t−1, i−1), (t−1, i)
 // and (t−1, i+1) (clamped at the borders) — the classic time-skewing /
 // trapezoidal-tiling workload of stencil computations.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func Wavefront(width, steps int) *dag.Graph {
 	if width < 1 || steps < 1 {
 		panic(fmt.Sprintf("gen: Wavefront(%d,%d): need ≥ 1", width, steps))
@@ -74,6 +82,10 @@ func Wavefront(width, steps int) *dag.Graph {
 // ReductionTrees returns f independent complete binary in-trees of the
 // given depth rooted into a final combining chain — the shape of a
 // multi-way parallel reduction followed by a sequential merge.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func ReductionTrees(f, depth int) *dag.Graph {
 	if f < 1 || depth < 0 {
 		panic(fmt.Sprintf("gen: ReductionTrees(%d,%d): invalid", f, depth))

@@ -23,6 +23,10 @@ type ZipperIDs struct {
 //
 // Δ_in is d+1 (chain nodes beyond the first), so any valid pebbling needs
 // r ≥ d+2.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func Zipper(d, chainLen, tailLen int) (*dag.Graph, *ZipperIDs) {
 	if d < 1 || chainLen < 1 {
 		panic(fmt.Sprintf("gen: Zipper(d=%d, chainLen=%d): parameters must be ≥ 1", d, chainLen))
@@ -74,6 +78,10 @@ type FanChainIDs struct {
 // chain node i−1). Δ_in = d+1; a single processor with r = d+2 pebbles it
 // with zero I/O by parking S in fast memory, whereas processors with
 // r < d+2 must stream most of S back in for every chain node.
+//
+// Panics on invalid parameters — a programmer error at the call site;
+// spec.ParseDAG converts these panics into errors for user-supplied
+// DAG spec strings.
 func FanChain(d, chainLen, tailLen int) (*dag.Graph, *FanChainIDs) {
 	if d < 1 || chainLen < 1 {
 		panic(fmt.Sprintf("gen: FanChain(d=%d, chainLen=%d): parameters must be ≥ 1", d, chainLen))

@@ -21,6 +21,8 @@ const (
 // Hash returns a 64-bit hash of the key words: FNV-1a over each word,
 // finished with a splitmix64-style avalanche so that keys differing only
 // in high bits still spread over small power-of-two slot arrays.
+//
+//mpp:hotpath
 func Hash(key []uint64) uint64 {
 	h := uint64(fnvOffset)
 	for _, w := range key {
@@ -49,7 +51,9 @@ type Table struct {
 }
 
 // New returns an empty table for keys of wordsPerKey words, pre-sized to
-// hold about capacityHint keys without growing.
+// hold about capacityHint keys without growing. A non-positive width
+// panics — a programmer error; every caller derives it from a validated
+// instance.
 func New(wordsPerKey, capacityHint int) *Table {
 	if wordsPerKey <= 0 {
 		panic("hashtab: wordsPerKey must be positive")
@@ -88,6 +92,7 @@ func (t *Table) Key(i int) []uint64 {
 	return t.keys[i*t.wpk : (i+1)*t.wpk : (i+1)*t.wpk]
 }
 
+//mpp:hotpath
 func (t *Table) keyEqual(i int, key []uint64) bool {
 	stored := t.keys[i*t.wpk : (i+1)*t.wpk]
 	for j, w := range key {
@@ -100,6 +105,8 @@ func (t *Table) keyEqual(i int, key []uint64) bool {
 
 // Find returns the index of key, or (-1, false) when absent. len(key)
 // must equal WordsPerKey. Find never allocates.
+//
+//mpp:hotpath
 func (t *Table) Find(key []uint64) (int, bool) {
 	t.checkWidth(key)
 	slot := Hash(key) & t.mask
@@ -119,6 +126,8 @@ func (t *Table) Find(key []uint64) (int, bool) {
 // reports whether the key was already present. The key words are copied
 // into the table's arena; the caller's slice is not retained. Inserting
 // an already-present key never allocates.
+//
+//mpp:hotpath
 func (t *Table) Insert(key []uint64) (idx int, existed bool) {
 	t.checkWidth(key)
 	slot := Hash(key) & t.mask
@@ -166,6 +175,9 @@ func (t *Table) Reset() {
 	}
 }
 
+// checkWidth panics when the key width disagrees with the table's — a
+// programmer error caught at the boundary rather than corrupting the
+// arena.
 func (t *Table) checkWidth(key []uint64) {
 	if len(key) != t.wpk {
 		panic("hashtab: key width mismatch")

@@ -14,6 +14,7 @@ type Ref struct {
 }
 
 // NewRef returns an empty reference table for keys of wordsPerKey words.
+// A non-positive width panics — a programmer error, mirroring New.
 func NewRef(wordsPerKey int) *Ref {
 	if wordsPerKey <= 0 {
 		panic("hashtab: wordsPerKey must be positive")
@@ -21,6 +22,8 @@ func NewRef(wordsPerKey int) *Ref {
 	return &Ref{wpk: wordsPerKey, m: make(map[string]int)}
 }
 
+// stringKey panics on a key width mismatch — a programmer error,
+// mirroring Table.checkWidth.
 func (r *Ref) stringKey(key []uint64) string {
 	if len(key) != r.wpk {
 		panic("hashtab: key width mismatch")

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxThread enforces the anytime-search context contract introduced in
+// the deadline-aware rework of the solvers:
+//
+//  1. Library code (any non-main package, non-test file) must not mint
+//     fresh contexts with context.Background() or context.TODO() — a
+//     root context belongs to the caller (cmd/ binaries, examples,
+//     tests). Deliberate convenience wrappers document themselves with
+//     a //lint:ignore pragma.
+//  2. A function that accepts a context.Context parameter must actually
+//     use it (propagate it to callees or poll it); a dropped context
+//     silently severs cancellation for everything downstream.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc: "context.Context must be propagated, not re-rooted: no " +
+		"context.Background()/TODO() in library packages, and declared " +
+		"ctx parameters must be used",
+	Run: runCtxThread,
+}
+
+func runCtxThread(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil // binaries own their root context
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue // tests are entry points; fresh contexts are fine
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := contextRootCall(info, n); ok {
+					pass.Reportf(n.Pos(), "context.%s() in library code: accept and propagate a caller context instead", name)
+				}
+			case *ast.FuncDecl:
+				checkCtxParamUsed(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// contextRootCall reports whether call is context.Background() or
+// context.TODO(), resolved through the type checker (an unrelated
+// package named context does not count).
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := obj.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// checkCtxParamUsed flags context.Context parameters that the function
+// body never references. Bodyless declarations (assembly stubs,
+// interface methods) are exempt.
+func checkCtxParamUsed(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "unnamed context.Context parameter in %s cannot be propagated", fd.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "context.Context parameter in %s is dropped (named _)", fd.Name.Name)
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !identUsed(info, fd.Body, obj) {
+				pass.Reportf(name.Pos(), "context.Context parameter %s in %s is never used: propagate it or poll it", name.Name, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsed reports whether any identifier under root resolves to obj.
+func identUsed(info *types.Info, root ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

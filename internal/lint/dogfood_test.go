@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// TestDogfoodRepoClean is the in-process equivalent of
+// `go run ./cmd/mpplint ./...`: the repository's own packages must lint
+// clean. A failure here means a change reintroduced a violation (or an
+// analyzer grew a false positive — either way, fix it before merging).
+func TestDogfoodRepoClean(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — pattern walk looks broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("lint ./...: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp forbids comparing error values with == or != (except against
+// nil). Sentinels like opt.ErrBudget are deliberately wrapped by the
+// solvers ("%w after %d states"), so a == comparison that happens to work
+// today silently breaks the moment a wrap is added — exactly the bug
+// errors.Is exists to prevent. Switch statements over an error tag are
+// the same comparison in disguise and are flagged per case value.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc: "sentinel errors must be matched with errors.Is, never ==/!= " +
+		"(nil comparisons are fine)",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorExpr(info, n.X) && isErrorExpr(info, n.Y) {
+					pass.Reportf(n.Pos(), "error compared with %s: use errors.Is", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(info, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isErrorExpr(info, e) {
+							pass.Reportf(e.Pos(), "switch on error compares with ==: use errors.Is")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorExpr reports whether e has a type implementing error and is not
+// the nil literal.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorInterface())
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

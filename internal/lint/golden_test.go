@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden harness: each testdata/src/<name> package seeds deliberate
+// violations annotated with `// want "regexp"` comments. The full
+// analyzer suite runs over the package and the findings must match the
+// expectations one-to-one — same file, same line, regexp matched against
+// "analyzer: message" — so a want also proves no other analyzer fires at
+// that line.
+
+var (
+	loaderOnce sync.Once
+	sharedL    *Loader
+	loaderErr  error
+)
+
+// testLoader shares one Loader (and its stdlib source importer cache)
+// across the whole test binary; the loader is not safe for concurrent
+// use, so none of these tests call t.Parallel.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedL, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedL
+}
+
+// loadTestdata loads internal/lint/testdata/src/<name> as one package
+// under the synthetic import path "testdata/<name>" (it lives outside
+// the module's package tree, so the path cannot be derived).
+func loadTestdata(t *testing.T, name string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	dir := filepath.Join(l.ModuleRoot, "internal", "lint", "testdata", "src", name)
+	pkg, err := l.LoadDir(dir, "testdata/"+name)
+	if err != nil {
+		t.Fatalf("load testdata/%s: %v", name, err)
+	}
+	return pkg
+}
+
+// want is one parsed expectation.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+// collectWants parses `// want "regexp"` comments out of a package.
+// Several quoted regexps after one want keyword expect several
+// diagnostics on that line.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantQuoted.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("package %s has no // want expectations", pkg.Path)
+	}
+	return wants
+}
+
+// runGolden lints one testdata package with the full suite and matches
+// findings against its want expectations one-to-one.
+func runGolden(t *testing.T, name string) {
+	t.Helper()
+	pkg := loadTestdata(t, name)
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatalf("lint testdata/%s: %v", name, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		rendered := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(rendered) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenCtxThread(t *testing.T)    { runGolden(t, "ctxthread") }
+func TestGoldenErrCmp(t *testing.T)       { runGolden(t, "errcmp") }
+func TestGoldenPanicCheck(t *testing.T)   { runGolden(t, "paniccheck") }
+func TestGoldenVerdictCheck(t *testing.T) { runGolden(t, "verdictcheck") }
+func TestGoldenHotAlloc(t *testing.T)     { runGolden(t, "hotalloc") }

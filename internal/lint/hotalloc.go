@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the allocation-free discipline of the packed-state
+// search core. Functions carrying the `//mpp:hotpath` directive (the
+// solver expand/relax loop, the bucket queue, the hashtab probe path)
+// were measured and written to touch the heap zero times per rejected
+// candidate; this analyzer keeps refactors from quietly regressing that.
+//
+// Inside an annotated function it reports:
+//
+//   - make and new calls;
+//   - slice and map composite literals;
+//   - function literals (a closure is an allocation when it captures);
+//   - append whose destination is a slice local to the function — a
+//     fresh backing array every call. Appending to struct fields,
+//     parameters, or locals that alias them (x := s.buf[:0]) is the
+//     sanctioned reuse pattern and stays legal.
+//
+// The check is lexical: callees are not followed (annotate them too),
+// and amortized growth of long-lived field slices is deliberately
+// allowed.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//mpp:hotpath functions may not allocate: no make/new, no " +
+		"slice or map literals, no closures, no append to fresh local slices",
+	Run: runHotAlloc,
+}
+
+// hotPathDirective is the comment marking a function as hot.
+const hotPathDirective = "//mpp:hotpath"
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the function's doc group carries the
+// directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	locals := localSliceOrigins(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n.Fun, "make"):
+				pass.Reportf(n.Pos(), "make in hot path %s", fd.Name.Name)
+			case isBuiltin(info, n.Fun, "new"):
+				pass.Reportf(n.Pos(), "new in hot path %s", fd.Name.Name)
+			case isBuiltin(info, n.Fun, "append"):
+				checkAppend(pass, info, fd, n, locals)
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot path %s", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot path %s", fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path %s", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkAppend flags append calls whose destination is a function-local
+// slice with a fresh backing array.
+func checkAppend(pass *Pass, info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, locals map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := rootExpr(call.Args[0])
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return // field or derived expression: reused storage
+	}
+	obj := info.Uses[id]
+	if obj == nil || !locals[obj] {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to function-local slice %s in hot path %s: reuse a field or parameter buffer", id.Name, fd.Name.Name)
+}
+
+// rootExpr strips parens, slicing and indexing down to the storage-owning
+// expression: append(x[:0], …), append(q.buckets[fi], …) and friends all
+// resolve to the underlying identifier or selector.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// localSliceOrigins collects the objects of slice-typed variables
+// declared inside fd whose storage is fresh — declared with var and no
+// initializer, or initialized from make/append/literals. Locals that
+// alias existing storage (x := s.buf[:0], x := param) are excluded.
+// Parameters and the receiver are never local.
+func localSliceOrigins(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) && aliasesExistingStorage(n.Rhs[i]) {
+					continue
+				}
+				fresh[obj] = true
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isSliceType(obj.Type()) {
+						continue
+					}
+					if len(vs.Values) == len(vs.Names) && aliasesExistingStorage(vs.Values[i]) {
+						continue
+					}
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// aliasesExistingStorage reports whether the initializer expression
+// derives from storage that already exists (slicing, selecting or
+// indexing something) rather than allocating fresh backing.
+func aliasesExistingStorage(e ast.Expr) bool {
+	switch rootExpr(e).(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+		// x := s.buf[:0], x := other — aliases whatever that was.
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONOutput pins the machine-readable schema: an array of objects
+// with exactly the keys analyzer/file/line/col/message, file paths
+// relative to the module root with forward slashes, 1-based positions.
+func TestJSONOutput(t *testing.T) {
+	pkg := loadTestdata(t, "errcmp")
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatalf("lint testdata/errcmp: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("errcmp fixture produced no diagnostics")
+	}
+	root := testLoader(t).ModuleRoot
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags, root); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("decoded %d objects, want %d", len(decoded), len(diags))
+	}
+	wantKeys := []string{"analyzer", "file", "line", "col", "message"}
+	for i, obj := range decoded {
+		if len(obj) != len(wantKeys) {
+			t.Errorf("object %d has %d keys, want %d: %v", i, len(obj), len(wantKeys), obj)
+		}
+		for _, k := range wantKeys {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("object %d missing key %q", i, k)
+			}
+		}
+		file, _ := obj["file"].(string)
+		if strings.HasPrefix(file, "/") || strings.Contains(file, `\`) {
+			t.Errorf("object %d: file %q is not a slash-separated relative path", i, file)
+		}
+		if line, _ := obj["line"].(float64); line < 1 {
+			t.Errorf("object %d: line %v is not 1-based", i, obj["line"])
+		}
+		if col, _ := obj["col"].(float64); col < 1 {
+			t.Errorf("object %d: col %v is not 1-based", i, obj["col"])
+		}
+		if a, _ := obj["analyzer"].(string); a != "errcmp" {
+			t.Errorf("object %d: analyzer %q, want errcmp", i, a)
+		}
+	}
+
+	// Clean runs must still emit an array, never null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, root); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package lint is a from-scratch static-analysis framework for this
+// repository, built only on the stdlib go/ast, go/parser and go/types
+// stack (the repo is dependency-free, so x/tools is off the table).
+//
+// The framework mirrors the shape of go/analysis at a fraction of its
+// surface: an Analyzer is a named check with a Run function, a Pass gives
+// it one type-checked package plus a Reportf sink, and Run drives a suite
+// of analyzers over a set of packages, applies `//lint:ignore` pragma
+// suppression, and returns position-sorted diagnostics.
+//
+// The analyzers in this package encode invariants of this codebase that
+// the compiler cannot check — the anytime-search contracts threaded
+// through internal/opt, internal/sched and internal/exp (contexts
+// propagated, sentinel errors matched with errors.Is, three-valued
+// Verdicts consulted, panics confined to documented programmer-error
+// paths) and the allocation-free discipline of the packed-state search
+// core (functions marked `//mpp:hotpath` may not allocate). cmd/mpplint
+// is the command-line driver; scripts/verify.sh runs it as a gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore pragmas.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass connects one analyzer run to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzers returns the full suite in registration (alphabetical) order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{CtxThread, ErrCmp, HotAlloc, PanicCheck, VerdictCheck}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes every analyzer over every package, filters the findings
+// through `//lint:ignore` pragmas, and returns them sorted by position.
+// Malformed or unknown-analyzer pragmas are themselves reported under the
+// reserved analyzer name "pragma".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		pragmas, bad := collectPragmas(pkg, analyzers)
+		pkgDiags = append(filterSuppressed(pkgDiags, pragmas), bad...)
+		diags = append(diags, pkgDiags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// parents maps every AST node in a file to its parent, so analyzers can
+// climb from an expression to its enclosing statement or declaration.
+// go/ast offers only downward traversal; this is the upward index.
+func parents(file *ast.File) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}
+
+// enclosingFuncDecl climbs the parent index to the function declaration
+// containing n, or nil at file scope.
+func enclosingFuncDecl(par map[ast.Node]ast.Node, n ast.Node) *ast.FuncDecl {
+	for n != nil {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd
+		}
+		n = par[n]
+	}
+	return nil
+}

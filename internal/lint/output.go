@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// JSONDiagnostic is the stable machine-readable form of a finding, one
+// object per diagnostic. File paths are emitted relative to the given
+// root so output does not depend on where the checkout lives.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts diagnostics to their wire form, relativizing file
+// paths against root (pass "" to keep them as-is).
+func ToJSON(diags []Diagnostic, root string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the diagnostics as a JSON array (always an array, "[]"
+// when clean, so consumers never need a null check).
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(diags, root))
+}
+
+// WriteText emits one file:line:col: analyzer: message line per finding.
+func WriteText(w io.Writer, diags []Diagnostic, root string) error {
+	for _, d := range diags {
+		_, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || filepath.IsAbs(rel) {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

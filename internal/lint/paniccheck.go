@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicCheck confines panic to the codebase's three sanctioned uses:
+//
+//   - Must* constructors (MustBuild, MustInstance, MustUGraph, …), whose
+//     entire point is converting an error into a panic at a call site
+//     that has statically guaranteed validity;
+//   - functions whose doc comment explicitly says "programmer error" (or
+//     "programming error"), the convention established for generator
+//     parameter validation and builder rule violations;
+//   - _test.go files.
+//
+// Everything else must return an error — the spec.ParseDAG precedent:
+// user-reachable inputs get errors, not crashes.
+var PanicCheck = &Analyzer{
+	Name: "paniccheck",
+	Doc: "panic only in Must* functions, functions documented as " +
+		"programmer-error-only, or _test.go files; user-reachable paths " +
+		"return errors",
+	Run: runPanicCheck,
+}
+
+func runPanicCheck(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call.Fun, "panic") {
+				return true
+			}
+			fd := enclosingFuncDecl(par, call)
+			if fd == nil {
+				pass.Reportf(call.Pos(), "panic at package scope")
+				return true
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				return true
+			}
+			if docSaysProgrammerError(fd.Doc) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in %s: allowed only in Must* functions or functions documented \"programmer error\" — return an error instead",
+				fd.Name.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// docSaysProgrammerError reports whether the doc comment declares the
+// function's panics to be programmer-error-only.
+func docSaysProgrammerError(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	return strings.Contains(text, "programmer error") || strings.Contains(text, "programming error")
+}
+
+// isBuiltin reports whether fun resolves to the named predeclared
+// function (shadowed identifiers do not count).
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

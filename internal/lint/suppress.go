@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression pragma syntax, modeled on staticcheck's:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The pragma suppresses diagnostics of the named analyzer on its own
+// line and on the line directly below it, so it works both as a trailing
+// comment on the offending line and as a standalone comment above it.
+// The reason is mandatory: an undocumented suppression is itself a
+// finding, reported under the reserved analyzer name "pragma", as is a
+// pragma naming an analyzer that does not exist.
+
+const pragmaPrefix = "//lint:ignore"
+
+// pragma is one parsed suppression comment.
+type pragma struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectPragmas scans every comment in the package for ignore pragmas.
+// Well-formed pragmas are returned for filtering; malformed ones come
+// back as diagnostics.
+func collectPragmas(pkg *Package, analyzers []*Analyzer) ([]pragma, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var pragmas []pragma
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Analyzer: "pragma", Pos: pkg.Fset.Position(pos), Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "ignore pragma missing analyzer name and reason")
+					continue
+				}
+				if !known[fields[0]] {
+					report(c.Pos(), "ignore pragma names unknown analyzer "+fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "ignore pragma for "+fields[0]+" missing a reason")
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				pragmas = append(pragmas, pragma{file: p.Filename, line: p.Line, analyzer: fields[0]})
+			}
+		}
+	}
+	return pragmas, bad
+}
+
+// filterSuppressed drops diagnostics covered by a pragma on the same
+// line or the line above.
+func filterSuppressed(diags []Diagnostic, pragmas []pragma) []Diagnostic {
+	if len(pragmas) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(pragmas))
+	for _, p := range pragmas {
+		covered[key{p.file, p.line, p.analyzer}] = true
+		covered[key{p.file, p.line + 1, p.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

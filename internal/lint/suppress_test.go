@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppression checks pragma handling end-to-end on the suppress
+// testdata package: well-formed pragmas (trailing and line-above) silence
+// their errcmp findings, while malformed pragmas — missing reason,
+// unknown analyzer — suppress nothing and are reported under the
+// reserved "pragma" analyzer. Expected lines are located by scanning the
+// fixture source, so edits to it do not silently invalidate the test.
+func TestSuppression(t *testing.T) {
+	pkg := loadTestdata(t, "suppress")
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatalf("lint testdata/suppress: %v", err)
+	}
+
+	src := filepath.Join(testLoader(t).ModuleRoot, "internal", "lint", "testdata", "src", "suppress", "suppress.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	lineWhere := func(pred func(string) bool, desc string) int {
+		t.Helper()
+		for i, l := range lines {
+			if pred(l) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture marker not found: %s", desc)
+		return 0
+	}
+	missingReasonPragma := lineWhere(func(l string) bool {
+		return strings.TrimSpace(l) == "//lint:ignore errcmp"
+	}, "reason-less pragma")
+	unknownPragma := lineWhere(func(l string) bool {
+		return strings.HasPrefix(strings.TrimSpace(l), "//lint:ignore nosuchcheck")
+	}, "unknown-analyzer pragma")
+	missingReasonCmp := lineWhere(func(l string) bool {
+		return strings.Contains(l, "MARK:unsuppressed-missing-reason")
+	}, "comparison under reason-less pragma")
+	unknownCmp := lineWhere(func(l string) bool {
+		return strings.Contains(l, "MARK:unsuppressed-unknown-analyzer")
+	}, "comparison under unknown-analyzer pragma")
+
+	type finding struct {
+		analyzer string
+		line     int
+	}
+	got := make(map[finding]string)
+	for _, d := range diags {
+		if base := filepath.Base(d.Pos.Filename); base != "suppress.go" {
+			t.Errorf("diagnostic outside fixture file: %s", d)
+			continue
+		}
+		got[finding{d.Analyzer, d.Pos.Line}] = d.Message
+	}
+	expect := map[finding]string{
+		{"pragma", missingReasonPragma}: "missing a reason",
+		{"pragma", unknownPragma}:       "unknown analyzer nosuchcheck",
+		{"errcmp", missingReasonCmp}:    "use errors.Is",
+		{"errcmp", unknownCmp}:          "use errors.Is",
+	}
+	for f, substr := range expect {
+		msg, ok := got[f]
+		if !ok {
+			t.Errorf("missing %s diagnostic at line %d", f.analyzer, f.line)
+			continue
+		}
+		if !strings.Contains(msg, substr) {
+			t.Errorf("%s at line %d: message %q does not contain %q", f.analyzer, f.line, msg, substr)
+		}
+	}
+	for f, msg := range got {
+		if _, ok := expect[f]; !ok {
+			t.Errorf("unexpected diagnostic (suppression failed?): %s line %d: %s", f.analyzer, f.line, msg)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package ctxtest seeds ctxthread violations: re-rooted contexts in
+// library code and context parameters that are never propagated.
+package ctxtest
+
+import "context"
+
+// Bad mints a fresh root context inside library code.
+func Bad() error {
+	ctx := context.Background() // want "ctxthread: context.Background\\(\\) in library code"
+	return work(ctx)
+}
+
+// BadTODO reaches for context.TODO instead.
+func BadTODO() error {
+	return work(context.TODO()) // want "ctxthread: context.TODO\\(\\) in library code"
+}
+
+// Dropped declares a context it never touches.
+func Dropped(ctx context.Context, n int) int { // want "ctxthread: context.Context parameter ctx in Dropped is never used"
+	return n + 1
+}
+
+// Blank discards the context by naming it _.
+func Blank(_ context.Context, n int) int { // want "ctxthread: context.Context parameter in Blank is dropped"
+	return n
+}
+
+// Unnamed cannot propagate a parameter it cannot name.
+func Unnamed(context.Context) {} // want "ctxthread: unnamed context.Context parameter in Unnamed"
+
+// Good propagates its context; no finding.
+func Good(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Polled uses the context directly; no finding.
+func Polled(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,37 @@
+// Package errcmptest seeds errcmp violations: sentinel errors compared
+// with == / != and switched over, instead of errors.Is.
+package errcmptest
+
+import "errors"
+
+// ErrSentinel plays the role of opt.ErrBudget.
+var ErrSentinel = errors.New("sentinel")
+
+// Eq compares a sentinel with ==.
+func Eq(err error) bool {
+	return err == ErrSentinel // want "errcmp: error compared with ==: use errors.Is"
+}
+
+// Neq compares a sentinel with !=.
+func Neq(err error) bool {
+	return err != ErrSentinel // want "errcmp: error compared with !=: use errors.Is"
+}
+
+// Switched hides the comparison in a switch.
+func Switched(err error) int {
+	switch err {
+	case ErrSentinel: // want "errcmp: switch on error compares with ==: use errors.Is"
+		return 1
+	case nil:
+		return 0
+	}
+	return -1
+}
+
+// NilChecks are fine; no findings.
+func NilChecks(err error) bool {
+	if err == nil {
+		return true
+	}
+	return err != nil && errors.Is(err, ErrSentinel)
+}

@@ -1,0 +1,37 @@
+// Package hottest seeds hotalloc violations inside a //mpp:hotpath
+// function, alongside the sanctioned buffer-reuse patterns that must
+// stay legal.
+package hottest
+
+type ring struct {
+	scratch []int
+	out     []int
+}
+
+// hot allocates in every way the analyzer knows about.
+//
+//mpp:hotpath
+func (r *ring) hot(n int) int {
+	tmp := make([]int, 0, n) // want "hotalloc: make in hot path hot"
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, i) // want "hotalloc: append to function-local slice tmp in hot path hot"
+	}
+	p := new(int)                // want "hotalloc: new in hot path hot"
+	lits := []int{1, 2, 3}       // want "hotalloc: slice literal in hot path hot"
+	m := map[int]bool{n: true}   // want "hotalloc: map literal in hot path hot"
+	f := func() int { return n } // want "hotalloc: closure in hot path hot"
+
+	// Sanctioned reuse: appending to a field, and to a local that aliases
+	// field storage, keeps the long-lived backing array.
+	r.out = append(r.out, tmp...)
+	re := r.scratch[:0]
+	re = append(re, n)
+	r.scratch = re
+	return len(lits) + len(m) + *p + f()
+}
+
+// cold is not annotated: the same code produces no findings.
+func (r *ring) cold(n int) []int {
+	tmp := make([]int, 0, n)
+	return append(tmp, n)
+}

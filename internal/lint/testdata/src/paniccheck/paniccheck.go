@@ -1,0 +1,44 @@
+// Package panictest seeds paniccheck violations: panics outside the
+// sanctioned Must* / documented-programmer-error / _test.go homes.
+package panictest
+
+import "fmt"
+
+// Parse should return an error for bad input, not panic.
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty input") // want "paniccheck: panic in Parse"
+	}
+	return len(s), nil
+}
+
+// MustParse panics by contract: Must* names are the sanctioned wrapper.
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// validate panics when the builder is misused — a programmer error, not
+// an input error, so the panic is sanctioned by documentation.
+func validate(ok bool) {
+	if !ok {
+		panic("misuse")
+	}
+}
+
+// Deep panics inside a closure; the enclosing function is undocumented,
+// so the finding attaches to it.
+func Deep(run func()) {
+	defer func() {
+		f := func() {
+			panic("closure panic") // want "paniccheck: panic in Deep"
+		}
+		f()
+	}()
+	validate(run != nil)
+	run()
+	_ = fmt.Sprintf("keep fmt imported")
+}

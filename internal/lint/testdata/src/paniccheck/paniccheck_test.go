@@ -1,0 +1,7 @@
+package panictest
+
+// Panics in _test.go files are exempt: no findings in this file.
+
+func helperThatPanics() {
+	panic("test helper")
+}

@@ -1,0 +1,34 @@
+// Package suppresstest exercises //lint:ignore pragma handling: valid
+// pragmas silence the named analyzer on their own line and the line
+// below; malformed pragmas suppress nothing and are themselves reported
+// under the reserved analyzer name "pragma". suppress_test.go asserts
+// the exact diagnostic set, locating lines by the marker comments.
+package suppresstest
+
+import "errors"
+
+var errSentinel = errors.New("fixture")
+
+// SameLine suppresses a finding with a trailing pragma.
+func SameLine(err error) bool {
+	return err == errSentinel //lint:ignore errcmp fixture: identity comparison is the point here
+}
+
+// LineAbove suppresses with a pragma on the preceding line.
+func LineAbove(err error) bool {
+	//lint:ignore errcmp fixture: identity comparison is the point here
+	return err != errSentinel
+}
+
+// MissingReason carries a pragma with no reason: nothing is suppressed
+// and the pragma is reported.
+func MissingReason(err error) bool {
+	//lint:ignore errcmp
+	return err == errSentinel // MARK:unsuppressed-missing-reason
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(err error) bool {
+	//lint:ignore nosuchcheck fixture: reason present but analyzer unknown
+	return err != errSentinel // MARK:unsuppressed-unknown-analyzer
+}

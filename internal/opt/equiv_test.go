@@ -192,6 +192,7 @@ func TestExactAllocationBudget(t *testing.T) {
 	g := gen.Grid2D(3, 3)
 	in := pebble.MustInstance(g, pebble.MPP(1, 4, 2))
 	allocs := testing.AllocsPerRun(5, func() {
+		//lint:ignore verdictcheck allocation probe: only the alloc count matters here
 		if _, err := Exact(in, 10_000_000); err != nil {
 			t.Fatal(err)
 		}

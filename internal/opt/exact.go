@@ -72,6 +72,7 @@ type Result struct {
 // requirement still holds), and one-shot mode (the computed set joins the
 // search state).
 func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactCtx
 	return exact(context.Background(), in, maxStates, false, nil)
 }
 
@@ -86,6 +87,7 @@ func ExactCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result,
 // strategy (via parent pointers); the result replays to exactly the
 // optimal cost. Costs slightly more memory per state.
 func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactWithStrategyCtx
 	return exact(context.Background(), in, maxStates, true, nil)
 }
 
@@ -296,6 +298,8 @@ func (s *solver) reconstruct(goal int32) (*pebble.Strategy, error) {
 // It is also consistent — a compute move costs ComputeCost and lowers the
 // bound by at most ComputeCost; other moves leave it unchanged — which is
 // what lets the bucket queue's cursor move only forward.
+//
+//mpp:hotpath
 func (s *solver) heuristic(computed uint64) int64 {
 	if s.in.ComputeCost == 0 {
 		return 0
@@ -308,6 +312,7 @@ func (s *solver) heuristic(computed uint64) int64 {
 	return int64((uncomputed+k-1)/k) * int64(s.in.ComputeCost)
 }
 
+//mpp:hotpath
 func (s *solver) isGoal(w []uint64) bool {
 	pebbled := s.blueWord(w)
 	for _, r := range w[:s.in.K] {
@@ -320,6 +325,8 @@ func (s *solver) isGoal(w []uint64) bool {
 // move is materialized from (kind, choice) only in witness mode and only
 // when the candidate actually improves — the rejected path allocates
 // nothing (Insert on a present key is allocation-free).
+//
+//mpp:hotpath
 func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 	if !s.witness {
 		// Shade symmetry collapse is only sound when no move sequence
@@ -358,6 +365,8 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 // same as a single action of the same kind, one might hope only maximal
 // combinations matter, but adding an extra legal action occupies memory,
 // so the full product of per-processor choices is explored.
+//
+//mpp:hotpath
 func (s *solver) expand(cost int64) {
 	k := s.in.K
 	gCost := int64(s.in.G)
@@ -414,6 +423,8 @@ func (s *solver) expand(cost int64) {
 
 // applyChoice builds the successor for s.choice under the given move kind
 // into s.cand and relaxes it if legal.
+//
+//mpp:hotpath
 func (s *solver) applyChoice(kind pebble.OpKind, newCost int64) {
 	copy(s.cand, s.cur)
 	switch kind {
@@ -470,10 +481,13 @@ func moveOf(kind pebble.OpKind, choice []int) pebble.Move {
 // choices (-1 = idle) into s.choice and applies each. One-shot duplicates
 // of the same node on different processors in a single compute move are
 // rejected in applyChoice.
+//
+//mpp:hotpath
 func (s *solver) product(opts [][]int, kind pebble.OpKind, newCost int64) {
 	s.productRec(opts, kind, newCost, 0, false)
 }
 
+//mpp:hotpath
 func (s *solver) productRec(opts [][]int, kind pebble.OpKind, newCost int64, p int, any bool) {
 	if p == len(opts) {
 		if any {

@@ -211,9 +211,12 @@ func TestExactNeverAboveHeuristics(t *testing.T) {
 func TestExactBudget(t *testing.T) {
 	g := gen.Grid2D(4, 4)
 	in := pebble.MustInstance(g, pebble.MPP(2, 3, 2))
-	_, err := Exact(in, 10)
+	res, err := Exact(in, 10)
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res == nil || res.Status != StatusBudget {
+		t.Fatalf("res = %+v, want Status %v", res, StatusBudget)
 	}
 }
 
@@ -226,7 +229,7 @@ func TestExactEmptyAndTooBig(t *testing.T) {
 	}
 	big := gen.Chain(63)
 	inBig := pebble.MustInstance(big, pebble.MPP(1, 2, 1))
-	if _, err := Exact(inBig, budget); err == nil {
+	if res, err := Exact(inBig, budget); err == nil || res != nil {
 		t.Fatal("63-node instance accepted")
 	}
 	// ZeroIO auto-dispatches beyond the word cap instead of refusing.

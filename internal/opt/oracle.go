@@ -20,12 +20,14 @@ import (
 
 // ExactOracle is Exact backed by the map-based reference state table.
 func ExactOracle(in *pebble.Instance, maxStates int) (*Result, error) {
+	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
 	return exact(context.Background(), in, maxStates, false, hashtab.NewRef(stateWords(in.K)))
 }
 
 // ExactWithStrategyOracle is ExactWithStrategy backed by the map-based
 // reference state table.
 func ExactWithStrategyOracle(in *pebble.Instance, maxStates int) (*Result, error) {
+	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
 	return exact(context.Background(), in, maxStates, true, hashtab.NewRef(stateWords(in.K)))
 }
 
@@ -35,5 +37,6 @@ func ZeroIOBigOracle(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) 
 	if words == 0 {
 		words = 1
 	}
+	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
 	return zeroIOBig(context.Background(), g, r, maxStates, hashtab.NewRef(words))
 }

@@ -15,6 +15,8 @@ func stateWords(k int) int { return k + 2 }
 // canonicalizeRed sorts the red words in place so permuting processor
 // shades collapses to one state (insertion sort; k is tiny). Only sound
 // when no move sequence must be reconstructed.
+//
+//mpp:hotpath
 func canonicalizeRed(red []uint64) {
 	for i := 1; i < len(red); i++ {
 		for j := i; j > 0 && red[j] < red[j-1]; j-- {
@@ -43,6 +45,7 @@ type bucketQueue struct {
 	size    int
 }
 
+//mpp:hotpath
 func (q *bucketQueue) push(f int64, idx int32, g int64) {
 	fi := int(f)
 	for fi >= len(q.buckets) {
@@ -57,6 +60,7 @@ func (q *bucketQueue) push(f int64, idx int32, g int64) {
 	q.size++
 }
 
+//mpp:hotpath
 func (q *bucketQueue) pop() (bqEntry, bool) {
 	if q.size == 0 {
 		return bqEntry{}, false
@@ -77,6 +81,8 @@ func (q *bucketQueue) empty() bool { return q.size == 0 }
 // With the consistent heuristic this is an admissible lower bound on any
 // solution still undiscovered — the anytime bound reported by an early
 // stop. Advancing cur past empty buckets is safe: pop does the same.
+//
+//mpp:hotpath
 func (q *bucketQueue) minF() (int64, bool) {
 	if q.size == 0 {
 		return 0, false

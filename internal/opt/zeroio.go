@@ -48,6 +48,7 @@ type ZeroIOResult struct {
 // the bitset-backed ZeroIOBig automatically; the two variants decide the
 // same predicate.
 func ZeroIO(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ZeroIOCtx
 	return ZeroIOCtx(context.Background(), g, r, maxStates)
 }
 

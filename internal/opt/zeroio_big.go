@@ -14,6 +14,7 @@ import (
 // behavior: on budget or cancellation it returns the explored-state count
 // with an indeterminate verdict.
 func ZeroIOBig(g *dag.Graph, r int, maxStates int) (*ZeroIOResult, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ZeroIOBigCtx
 	return zeroIOBig(context.Background(), g, r, maxStates, nil)
 }
 

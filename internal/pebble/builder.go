@@ -34,6 +34,9 @@ func (b *Builder) Strategy() *Strategy { return &Strategy{Moves: b.s.Moves} }
 // re-established by later tracked moves. Most callers should not need it.
 func (b *Builder) Raw(m Move) { b.s.Append(m) }
 
+// fail panics with the builder's diagnostic: a rule violation in a
+// proof-encoded strategy is a programmer error (see the type comment),
+// and every builder-produced strategy is re-validated by Replay anyway.
 func (b *Builder) fail(format string, args ...any) {
 	panic(fmt.Sprintf("pebble.Builder: "+format, args...))
 }

@@ -28,6 +28,7 @@ func (r RandomRestartGreedy) Name() string {
 
 // Schedule implements Scheduler.
 func (r RandomRestartGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ScheduleCtx
 	return r.ScheduleCtx(context.Background(), in)
 }
 

@@ -53,6 +53,7 @@ func ScheduleCtx(ctx context.Context, s Scheduler, in *pebble.Instance) (*pebble
 
 // Run schedules and replays in one step, returning the validated report.
 func Run(s Scheduler, in *pebble.Instance) (*pebble.Report, error) {
+	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use RunCtx
 	return RunCtx(context.Background(), s, in)
 }
 

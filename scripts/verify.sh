@@ -19,6 +19,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== mpplint =="
+# Project-specific analyzers (internal/lint): ctx propagation, panic
+# policy, errors.Is on sentinels, Status/Verdict consultation, and the
+# //mpp:hotpath no-allocation rule. Exits nonzero on any finding.
+go run ./cmd/mpplint ./...
+
 echo "== go build =="
 go build ./...
 
