@@ -9,6 +9,8 @@
 //	mppbench                     # write BENCH_<today>.json
 //	mppbench -out -              # JSON to stdout
 //	mppbench -quick              # shorter sampling windows
+//	mppbench -group solver       # only one benchmark group
+//	mppbench -diff BENCH_x.json  # fail if states expanded regress >20%
 //	mppbench -timeout 2s         # deadline per solver call / experiment
 //	mppbench -max-states 100000  # cap the exact solvers' state budgets
 //	mppbench -cpuprofile cpu.out # profile the whole run
@@ -19,9 +21,18 @@
 // experiments report partial tables.
 //
 // Per benchmark the snapshot records ns/op, bytes/op, allocs/op and —
-// for the exact solvers — states/sec, the solver-independent throughput
-// number the experiments care about (how much of the exponential search
-// space a second buys).
+// for the exact solvers — states/sec (the solver-independent throughput
+// number: how much of the exponential search space a second buys) plus
+// states_expanded, the deterministic per-run expansion count the
+// heuristic/pruning work is judged by. The exact-search benchmarks run
+// once per heuristic mode (-floor / -io / -max suffixes; the unsuffixed
+// name is the DefaultConfig run kept comparable with v1 snapshots).
+//
+// -diff compares the freshly measured solver records against a committed
+// snapshot (v1 snapshots are read compatibly: their per-op expansion
+// count is recovered from states_per_sec × ns_per_op) and exits non-zero
+// when any shared benchmark expands >20% more states — the CI guard
+// scripts/verify.sh runs in quick mode.
 package main
 
 import (
@@ -29,8 +40,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bounds"
@@ -52,13 +66,20 @@ type record struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	// StatesExpanded is the deterministic per-run expansion count of a
+	// solver benchmark (schema v2; recovered from states_per_sec for v1).
+	StatesExpanded int `json:"states_expanded,omitempty"`
 }
 
 type snapshot struct {
 	Schema     string   `json:"schema"`
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
+	GitCommit  string   `json:"git_commit,omitempty"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
 	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
 	Quick      bool     `json:"quick"`
 	Benchmarks []record `json:"benchmarks"`
 }
@@ -100,6 +121,9 @@ func measure(name, group string, minTime time.Duration, fn func() (states int, e
 	}
 	if states > 0 && elapsed > 0 {
 		rec.StatesPerSec = float64(states) / elapsed.Seconds()
+		// The searches are deterministic, so the per-iteration count is
+		// exact, not an average.
+		rec.StatesExpanded = states / iters
 	}
 	return rec, nil
 }
@@ -107,6 +131,8 @@ func measure(name, group string, minTime time.Duration, fn func() (states int, e
 func main() {
 	out := flag.String("out", "", `output file ("-" = stdout; default BENCH_<date>.json)`)
 	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
+	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "engine" or "experiment" (default all)`)
+	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states")
 	timeout := flag.Duration("timeout", 0, "deadline per solver call and per experiment (0 = none); searches that hit it are skipped with their bound gap")
 	maxStates := flag.Int("max-states", 0, "cap each exact solver call's explored states (0 = benchmark defaults)")
 	flag.Parse()
@@ -120,13 +146,18 @@ func main() {
 	if *quick {
 		minTime = 50 * time.Millisecond
 	}
+	wantGroup := func(g string) bool { return *groupSel == "" || *groupSel == g }
 
 	snap := snapshot{
-		Schema:    "mpp-bench/v1",
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Quick:     *quick,
+		Schema:     "mpp-bench/v2",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GitCommit:  gitCommit(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
 	}
 	states := func(def int) int {
 		if *maxStates > 0 {
@@ -154,114 +185,160 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-36s %12d ns/op %10d B/op %8d allocs/op",
 			rec.Group+"/"+rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
 		if rec.StatesPerSec > 0 {
-			fmt.Fprintf(os.Stderr, " %12.0f states/s", rec.StatesPerSec)
+			fmt.Fprintf(os.Stderr, " %12.0f states/s %8d states", rec.StatesPerSec, rec.StatesExpanded)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
+	// exactModes benchmarks one instance under each heuristic mode with
+	// pruning off (the -floor run reproduces the pre-stack search exactly)
+	// plus the unsuffixed DefaultConfig run (max heuristic + dominance +
+	// lazy deletion), asserting up front that every configuration lands on
+	// the same optimum. The floor-vs-default states ratio is the number the
+	// acceptance bar (≥3x fewer expansions) is read from.
+	exactModes := func(name string, in *pebble.Instance, budget int) {
+		configs := []struct {
+			suffix string
+			cfg    opt.Config
+		}{
+			{"", opt.DefaultConfig(0)},
+			{"-floor", opt.Config{Heuristic: opt.HeuristicFloor}},
+			{"-io", opt.Config{Heuristic: opt.HeuristicIO}},
+			{"-max", opt.Config{Heuristic: opt.HeuristicMax}},
+		}
+		wantCost := int64(-1)
+		for _, c := range configs {
+			cfg := c.cfg
+			cfg.MaxStates = states(budget)
+			bname := name + c.suffix
+			ctx, cancel := solverCtx()
+			res, err := opt.ExactWith(ctx, in, cfg)
+			cancel()
+			if err == nil {
+				if wantCost == -1 {
+					wantCost = res.Cost
+				} else if res.Cost != wantCost {
+					fatal(fmt.Errorf("%s: optimum %d differs across heuristic modes (want %d)", bname, res.Cost, wantCost))
+				}
+			}
+			add(measure(bname, "solver", minTime, func() (int, error) {
+				ctx, cancel := solverCtx()
+				defer cancel()
+				res, err := opt.ExactWith(ctx, in, cfg)
+				if err != nil {
+					return 0, annotateGap(res, err)
+				}
+				return res.States, nil
+			}))
+		}
+	}
 
 	// --- solver group: the exact-search hot paths ---------------------
-	gridK1 := pebble.MustInstance(gen.Grid2D(3, 3), pebble.MPP(1, 4, 2))
-	add(measure("exact-grid3x3-k1", "solver", minTime, func() (int, error) {
-		ctx, cancel := solverCtx()
-		defer cancel()
-		res, err := opt.ExactCtx(ctx, gridK1, states(10_000_000))
-		if err != nil {
-			return 0, annotateGap(res, err)
-		}
-		return res.States, nil
-	}))
-	gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
-	add(measure("exact-grid2x3-k2", "solver", minTime, func() (int, error) {
-		ctx, cancel := solverCtx()
-		defer cancel()
-		res, err := opt.ExactCtx(ctx, gridK2, states(10_000_000))
-		if err != nil {
-			return 0, annotateGap(res, err)
-		}
-		return res.States, nil
-	}))
-	add(measure("exact-witness-grid2x3-k2", "solver", minTime, func() (int, error) {
-		ctx, cancel := solverCtx()
-		defer cancel()
-		res, err := opt.ExactWithStrategyCtx(ctx, gridK2, states(10_000_000))
-		if err != nil {
-			return 0, annotateGap(res, err)
-		}
-		return res.States, nil
-	}))
-	pyr := gen.Pyramid(6)
-	add(measure("zeroio-pyramid6-r8", "solver", minTime, func() (int, error) {
-		ctx, cancel := solverCtx()
-		defer cancel()
-		res, err := opt.ZeroIOCtx(ctx, pyr, 8, states(10_000_000))
-		if err != nil {
-			return 0, err
-		}
-		return res.States, nil
-	}))
-	// The Theorem 2 reduction on C4 (no 3-clique): the search must
-	// exhaust, which is the expensive direction E12/E13 depend on.
-	c4 := hardness.MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
-	red, err := hardness.BuildCliqueReduction(c4, 3)
-	if err != nil {
-		fatal(err)
-	}
-	add(measure("zeroiobig-clique-C4-q3", "solver", minTime, func() (int, error) {
-		ctx, cancel := solverCtx()
-		defer cancel()
-		res, err := opt.ZeroIOBigCtx(ctx, red.Graph, red.R, states(10_000_000))
-		if err != nil {
-			return 0, err
-		}
-		if res.Feasible {
-			return 0, fmt.Errorf("C4 reduction unexpectedly feasible")
-		}
-		return res.States, nil
-	}))
-
-	// --- engine group: replay and scheduling --------------------------
-	zg, ids := gen.Zipper(8, 200, 0)
-	zin := pebble.MustInstance(zg, pebble.MPP(1, 2*8+2, 4))
-	bld := pebble.NewBuilder(zin)
-	for _, u := range append(append([]dag.NodeID{}, ids.S1...), ids.S2...) {
-		bld.Compute(0, u)
-	}
-	for i, v := range ids.Chain {
-		bld.Compute(0, v)
-		if i > 0 {
-			bld.DropRed(0, ids.Chain[i-1])
-		}
-	}
-	zstrat := bld.Strategy()
-	add(measure("replay-zipper8x200", "engine", minTime, func() (int, error) {
-		_, err := pebble.Replay(zin, zstrat)
-		return 0, err
-	}))
-	rg := gen.RandomDAG(256, 0.05, 4, 7)
-	rin := pebble.MustInstance(rg, pebble.MPP(4, rg.MaxInDegree()+3, 3))
-	add(measure("greedy-random-n256-k4", "engine", minTime, func() (int, error) {
-		_, err := sched.Run(sched.Greedy{}, rin)
-		return 0, err
-	}))
-
-	// --- experiment group: the full suite, quick sizing, one pass -----
-	for _, e := range exp.Registry() {
-		e := e
-		add(measure(e.ID+"-quick", "experiment", 0, func() (int, error) {
-			cfg := exp.Config{Quick: true, Timeout: *timeout, MaxStates: *maxStates}
-			tab, err := exp.RunSafe(context.Background(), e, cfg)
+	if wantGroup("solver") {
+		gridK1 := pebble.MustInstance(gen.Grid2D(3, 3), pebble.MPP(1, 4, 2))
+		add(measure("exact-grid3x3-k1", "solver", minTime, func() (int, error) {
+			ctx, cancel := solverCtx()
+			defer cancel()
+			res, err := opt.ExactCtx(ctx, gridK1, states(10_000_000))
+			if err != nil {
+				return 0, annotateGap(res, err)
+			}
+			return res.States, nil
+		}))
+		gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
+		exactModes("exact-grid2x3-k2", gridK2, 10_000_000)
+		// A g ≥ 4 gadget where I/O dominates: the zipper forces the single
+		// processor to juggle both source groups, so the I/O-aware modes
+		// prune far ahead of the compute floor.
+		zipg, _ := gen.Zipper(2, 3, 0)
+		zipIn := pebble.MustInstance(zipg, pebble.MPP(1, 4, 5))
+		exactModes("exact-zipper2x3-k1-g5", zipIn, 10_000_000)
+		add(measure("exact-witness-grid2x3-k2", "solver", minTime, func() (int, error) {
+			ctx, cancel := solverCtx()
+			defer cancel()
+			res, err := opt.ExactWithStrategyCtx(ctx, gridK2, states(10_000_000))
+			if err != nil {
+				return 0, annotateGap(res, err)
+			}
+			return res.States, nil
+		}))
+		pyr := gen.Pyramid(6)
+		add(measure("zeroio-pyramid6-r8", "solver", minTime, func() (int, error) {
+			ctx, cancel := solverCtx()
+			defer cancel()
+			res, err := opt.ZeroIOCtx(ctx, pyr, 8, states(10_000_000))
 			if err != nil {
 				return 0, err
 			}
-			if tab.Partial {
-				fmt.Fprintf(os.Stderr, "note: %s partial under -timeout/-max-states\n", e.ID)
-				return 0, nil
-			}
-			if !tab.Pass() {
-				return 0, fmt.Errorf("%s shape checks failed", e.ID)
-			}
-			return 0, nil
+			return res.States, nil
 		}))
+		// The Theorem 2 reduction on C4 (no 3-clique): the search must
+		// exhaust, which is the expensive direction E12/E13 depend on.
+		c4 := hardness.MustUGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+		red, err := hardness.BuildCliqueReduction(c4, 3)
+		if err != nil {
+			fatal(err)
+		}
+		add(measure("zeroiobig-clique-C4-q3", "solver", minTime, func() (int, error) {
+			ctx, cancel := solverCtx()
+			defer cancel()
+			res, err := opt.ZeroIOBigCtx(ctx, red.Graph, red.R, states(10_000_000))
+			if err != nil {
+				return 0, err
+			}
+			if res.Feasible {
+				return 0, fmt.Errorf("C4 reduction unexpectedly feasible")
+			}
+			return res.States, nil
+		}))
+	}
+
+	// --- engine group: replay and scheduling --------------------------
+	if wantGroup("engine") {
+		zg, ids := gen.Zipper(8, 200, 0)
+		zin := pebble.MustInstance(zg, pebble.MPP(1, 2*8+2, 4))
+		bld := pebble.NewBuilder(zin)
+		for _, u := range append(append([]dag.NodeID{}, ids.S1...), ids.S2...) {
+			bld.Compute(0, u)
+		}
+		for i, v := range ids.Chain {
+			bld.Compute(0, v)
+			if i > 0 {
+				bld.DropRed(0, ids.Chain[i-1])
+			}
+		}
+		zstrat := bld.Strategy()
+		add(measure("replay-zipper8x200", "engine", minTime, func() (int, error) {
+			_, err := pebble.Replay(zin, zstrat)
+			return 0, err
+		}))
+		rg := gen.RandomDAG(256, 0.05, 4, 7)
+		rin := pebble.MustInstance(rg, pebble.MPP(4, rg.MaxInDegree()+3, 3))
+		add(measure("greedy-random-n256-k4", "engine", minTime, func() (int, error) {
+			_, err := sched.Run(sched.Greedy{}, rin)
+			return 0, err
+		}))
+	}
+
+	// --- experiment group: the full suite, quick sizing, one pass -----
+	if wantGroup("experiment") {
+		for _, e := range exp.Registry() {
+			e := e
+			add(measure(e.ID+"-quick", "experiment", 0, func() (int, error) {
+				cfg := exp.Config{Quick: true, Timeout: *timeout, MaxStates: *maxStates}
+				tab, err := exp.RunSafe(context.Background(), e, cfg)
+				if err != nil {
+					return 0, err
+				}
+				if tab.Partial {
+					fmt.Fprintf(os.Stderr, "note: %s partial under -timeout/-max-states\n", e.ID)
+					return 0, nil
+				}
+				if !tab.Pass() {
+					return 0, fmt.Errorf("%s shape checks failed", e.ID)
+				}
+				return 0, nil
+			}))
+		}
 	}
 
 	path := *out
@@ -275,12 +352,87 @@ func main() {
 	data = append(data, '\n')
 	if path == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mppbench: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fatal(err)
+
+	// Diff after writing: a regression still leaves the fresh snapshot on
+	// disk for inspection, but fails the run.
+	if *diff != "" {
+		if err := diffStates(*diff, snap.Benchmarks); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "mppbench: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// diffStates loads a committed snapshot and compares states expanded on
+// the solver benchmarks both runs share. It fails when any fresh count
+// exceeds the baseline by more than 20% — expansion counts are
+// deterministic, so the tolerance only absorbs deliberate small trades
+// (e.g. a heuristic tweak), not measurement noise. v1 snapshots carry no
+// states_expanded field; their per-op count is recovered exactly from
+// states_per_sec × ns_per_op (both derive from the same states/iters).
+func diffStates(path string, fresh []record) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-diff: %w", err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-diff %s: %w", path, err)
+	}
+	if !strings.HasPrefix(base.Schema, "mpp-bench/") {
+		return fmt.Errorf("-diff %s: unrecognized schema %q", path, base.Schema)
+	}
+	baseline := make(map[string]int)
+	for _, r := range base.Benchmarks {
+		if r.Group != "solver" {
+			continue
+		}
+		st := r.StatesExpanded
+		if st == 0 && r.StatesPerSec > 0 && r.NsPerOp > 0 {
+			st = int(math.Round(r.StatesPerSec * float64(r.NsPerOp) / 1e9))
+		}
+		if st > 0 {
+			baseline[r.Name] = st
+		}
+	}
+	regressed := 0
+	compared := 0
+	for _, r := range fresh {
+		if r.Group != "solver" || r.StatesExpanded == 0 {
+			continue
+		}
+		want, ok := baseline[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if float64(r.StatesExpanded) > 1.2*float64(want) {
+			regressed++
+			fmt.Fprintf(os.Stderr, "mppbench: REGRESSION %s: %d states expanded vs %d in %s (+%.0f%%)\n",
+				r.Name, r.StatesExpanded, want, path, 100*(float64(r.StatesExpanded)/float64(want)-1))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mppbench: diff vs %s (%s): %d solver benchmarks compared, %d regressed\n",
+		path, base.Schema, compared, regressed)
+	if regressed > 0 {
+		return fmt.Errorf("%d solver benchmark(s) regressed >20%% in states expanded vs %s", regressed, path)
+	}
+	return nil
+}
+
+// gitCommit stamps the snapshot with the current HEAD, best-effort: a
+// missing git binary or repository just leaves the field empty.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func fatal(err error) {

@@ -29,8 +29,8 @@ func main() {
 	}
 	if *format == "" {
 		st := g.ComputeStats()
-		fmt.Printf("name=%s n=%d m=%d sources=%d sinks=%d Δin=%d Δout=%d depth=%d widest=%d\n",
-			st.Name, st.N, st.M, st.Sources, st.Sinks, st.MaxIn, st.MaxOut, st.Depth, st.WidestLevel)
+		fmt.Printf("name=%s n=%d m=%d sources=%d sinks=%d Δin=%d Δout=%d depth=%d widest=%d maxanc=%d\n",
+			st.Name, st.N, st.M, st.Sources, st.Sinks, st.MaxIn, st.MaxOut, st.Depth, st.WidestLevel, st.MaxAncestors)
 		return
 	}
 	switch *format {

@@ -40,6 +40,30 @@ func Corollary1Cost(L float64, n, k, g int) float64 {
 	return float64(g)*L/float64(k) + float64(n)/float64(k)
 }
 
+// StructuralLower returns a purely structural cost lower bound valid for
+// any instance size: the compute floor c·max(⌈n/k⌉, depth) — one move
+// computes at most k nodes, and nodes on a directed path can never share
+// a move — plus the store floor g·⌈(sinks − k·r)⁺/k⌉ — sinks that cannot
+// all be held red at the end must reach blue, k writes per move. It
+// matches the exact solver's `max` heuristic evaluated at the empty start
+// configuration (the solver's form only tightens mid-search), so it is
+// the lower bound of record for instances too large to search.
+func StructuralLower(in *pebble.Instance) int64 {
+	n, k := int64(in.N()), int64(in.K)
+	if n == 0 {
+		return 0
+	}
+	computes := (n + k - 1) / k
+	if d := int64(in.Graph.CriticalPathLength()); d > computes {
+		computes = d
+	}
+	lb := computes * int64(in.ComputeCost)
+	if w := int64(len(in.Graph.Sinks())) - k*int64(in.R); w > 0 {
+		lb += (w + k - 1) / k * int64(in.G)
+	}
+	return lb
+}
+
 // HongKungFFT returns the Hong–Kung I/O lower bound Ω(n·log n / log s)
 // for the n-point FFT DAG pebbled with fast memory s (as used in
 // Section 4 of the paper, with s = r·k). It returns the bound without

@@ -29,6 +29,35 @@ func TestLemma1Sandwich(t *testing.T) {
 	}
 }
 
+func TestStructuralLower(t *testing.T) {
+	// Grid 4x4, k=2, r=4, g=3: depth 7 beats ⌈16/2⌉ = 8? No — 8 > 7, so
+	// the compute floor wins; 1 sink ≤ k·r, so no store term.
+	g := gen.Grid2D(4, 4)
+	in := pebble.MustInstance(g, pebble.MPP(2, 4, 3))
+	if got := StructuralLower(in); got != 8 {
+		t.Errorf("StructuralLower(grid4x4 k2) = %d, want 8", got)
+	}
+	// Chain 16, k=4: depth 16 beats ⌈16/4⌉ = 4.
+	in2 := pebble.MustInstance(gen.Chain(16), pebble.MPP(4, 2, 3))
+	if got := StructuralLower(in2); got != 16 {
+		t.Errorf("StructuralLower(chain16 k4) = %d, want 16", got)
+	}
+	// Two-layer with many sinks and tiny capacity: store floor kicks in.
+	// 3 sources → 12 sinks, k=1, r=5, g=2: computes = 15, sinks beyond
+	// capacity = 12 − 5 = 7 writes → 15 + 2·7 = 29... depth 2 < 15.
+	tl := gen.TwoLayerRandom(3, 12, 1.0, 1) // p=1: complete bipartite
+	in3 := pebble.MustInstance(tl, pebble.MPP(1, 5, 2))
+	if got := StructuralLower(in3); got != 15+2*7 {
+		t.Errorf("StructuralLower(twolayer) = %d, want %d", got, 15+2*7)
+	}
+	// Never exceeds the trivial upper bound, and ≥ Lemma 1 lower.
+	for _, in := range []*pebble.Instance{in, in2, in3} {
+		if sl := StructuralLower(in); sl < Lemma1Lower(in) || sl > Lemma1Upper(in) {
+			t.Errorf("StructuralLower %d outside [%d, %d]", sl, Lemma1Lower(in), Lemma1Upper(in))
+		}
+	}
+}
+
 func TestLemma5AndCorollary1(t *testing.T) {
 	if got := Lemma5IO(100, 4); got != 25 {
 		t.Errorf("Lemma5IO = %v", got)

@@ -60,6 +60,26 @@ func (g *Graph) Ancestors(v NodeID) *bitset.Set {
 	return s
 }
 
+// AncestorCounts returns, for each node, the number of distinct ancestors
+// (nodes from which it is reachable, excluding itself). Computed in one
+// topological sweep with bitset unions, so it is cheap enough to run at
+// solver init; the exact solver's I/O-aware heuristic and the DAG stats
+// both use it.
+func (g *Graph) AncestorCounts() []int {
+	counts := make([]int, g.N())
+	sets := make([]*bitset.Set, g.N())
+	for _, v := range g.Topo() {
+		s := bitset.New(g.N())
+		for _, u := range g.Pred(v) {
+			s.Add(int(u))
+			s.UnionWith(sets[u])
+		}
+		sets[v] = s
+		counts[v] = s.Count()
+	}
+	return counts
+}
+
 // Descendants returns the set of nodes reachable from v (excluding v).
 func (g *Graph) Descendants(v NodeID) *bitset.Set {
 	s := bitset.New(g.N())
@@ -134,27 +154,35 @@ func (g *Graph) WidestLevel() int {
 
 // Stats bundles the headline shape metrics of a DAG.
 type Stats struct {
-	Name        string
-	N, M        int
-	Sources     int
-	Sinks       int
-	MaxIn       int
-	MaxOut      int
-	Depth       int // critical path length in nodes
-	WidestLevel int
+	Name         string
+	N, M         int
+	Sources      int
+	Sinks        int
+	MaxIn        int
+	MaxOut       int
+	Depth        int // critical path length in nodes
+	WidestLevel  int
+	MaxAncestors int // largest ancestor set of any node
 }
 
 // ComputeStats gathers the Stats of g.
 func (g *Graph) ComputeStats() Stats {
+	maxAnc := 0
+	for _, c := range g.AncestorCounts() {
+		if c > maxAnc {
+			maxAnc = c
+		}
+	}
 	return Stats{
-		Name:        g.name,
-		N:           g.N(),
-		M:           g.M(),
-		Sources:     len(g.sources),
-		Sinks:       len(g.sinks),
-		MaxIn:       g.maxIn,
-		MaxOut:      g.maxOut,
-		Depth:       g.CriticalPathLength(),
-		WidestLevel: g.WidestLevel(),
+		Name:         g.name,
+		N:            g.N(),
+		M:            g.M(),
+		Sources:      len(g.sources),
+		Sinks:        len(g.sinks),
+		MaxIn:        g.maxIn,
+		MaxOut:       g.maxOut,
+		Depth:        g.CriticalPathLength(),
+		WidestLevel:  g.WidestLevel(),
+		MaxAncestors: maxAnc,
 	}
 }

@@ -153,6 +153,32 @@ func TestAncestorsDescendants(t *testing.T) {
 	}
 }
 
+func TestAncestorCounts(t *testing.T) {
+	g := diamond(t)
+	if got := g.AncestorCounts(); !reflect.DeepEqual(got, []int{0, 1, 1, 3}) {
+		t.Errorf("AncestorCounts(diamond) = %v, want [0 1 1 3]", got)
+	}
+	if st := g.ComputeStats(); st.MaxAncestors != 3 {
+		t.Errorf("MaxAncestors = %d, want 3", st.MaxAncestors)
+	}
+	// Property: the sweep-based counts agree with per-node Ancestors.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		g := randomDAG(rng, n, 0.4)
+		counts := g.AncestorCounts()
+		for v := 0; v < n; v++ {
+			if counts[v] != g.Ancestors(NodeID(v)).Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCountPaths(t *testing.T) {
 	g := diamond(t)
 	if got := g.CountPaths(1 << 40); got != 2 {

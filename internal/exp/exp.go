@@ -353,20 +353,49 @@ func ctxDone(ctx context.Context, t *Table, stage string) bool {
 	return false
 }
 
-// exactIn runs opt.ExactCtx under the config's budget override. A partial
-// stop (budget/deadline/cancel) marks the table and returns ok=false with
-// the anytime result — callers skip the row or report the incumbent; any
-// other error propagates.
+// exactIn runs the default exact search under the config's budget
+// override. A partial stop (budget/deadline/cancel) marks the table and
+// returns ok=false with the anytime result — callers skip the row or
+// report the incumbent; any other error propagates.
 func exactIn(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, defStates int) (*opt.Result, bool, error) {
-	res, err := opt.ExactCtx(ctx, in, cfg.states(defStates))
+	return exactInCfg(ctx, t, in, opt.DefaultConfig(cfg.states(defStates)))
+}
+
+// exactInCfg is exactIn under an explicit solver Config — experiments
+// that must pin a heuristic mode (e.g. E14's raw-state-space measurement
+// runs the bare compute floor) pass their own. Partial results get their
+// lower bound raised to the max-heuristic root bound first, so gap
+// brackets printed from weaker-mode or early-stopped runs don't start
+// from a needlessly loose floor.
+func exactInCfg(ctx context.Context, t *Table, in *pebble.Instance, ocfg opt.Config) (*opt.Result, bool, error) {
+	res, err := opt.ExactWith(ctx, in, ocfg)
 	if err != nil {
 		if opt.IsPartial(err) {
+			raiseLowerBound(res, in)
 			t.MarkPartial("Exact("+in.String()+")", err)
 			return res, false, nil
 		}
 		return nil, false, err
 	}
 	return res, true, nil
+}
+
+// raiseLowerBound lifts a partial result's frontier lower bound to the
+// max-heuristic evaluated at the root, clamped to the incumbent. For a
+// search that already ran the max heuristic this is a no-op (consistency
+// keeps the frontier minimum at or above the root value); for floor-mode
+// runs and very early stops it tightens the printed bracket for free.
+func raiseLowerBound(res *opt.Result, in *pebble.Instance) {
+	if res == nil {
+		return
+	}
+	lb := opt.RootLowerBound(in, opt.HeuristicMax)
+	if res.Incumbent >= 0 && lb > res.Incumbent {
+		lb = res.Incumbent
+	}
+	if lb > res.LowerBound {
+		res.LowerBound = lb
+	}
 }
 
 // zeroIOIn is exactIn for the zero-I/O decision procedure: pass it the

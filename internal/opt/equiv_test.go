@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -72,6 +73,94 @@ func TestExactTableMatchesOracleZoo(t *testing.T) {
 		}
 		if gw.Cost != got.Cost {
 			t.Errorf("%s: witness cost %d ≠ plain cost %d", c.name, gw.Cost, got.Cost)
+		}
+	}
+}
+
+// exactConfigs is the heuristic-mode × dominance grid the per-mode
+// equivalence and agreement tests sweep.
+func exactConfigs(maxStates int) []Config {
+	var out []Config
+	for _, mode := range []HeuristicMode{HeuristicFloor, HeuristicIO, HeuristicMax} {
+		for _, dom := range []bool{false, true} {
+			out = append(out, Config{MaxStates: maxStates, Heuristic: mode, Dominance: dom})
+		}
+	}
+	return out
+}
+
+// TestExactModesMatchOracleZoo locks every heuristic mode × dominance
+// combination to the map-backed oracle: the entire Result — cost, states
+// expanded, pruned count, bracket — must be byte-identical, because the
+// heuristic and pruning logic live in the shared solver and only the
+// state-identity structure differs.
+func TestExactModesMatchOracleZoo(t *testing.T) {
+	for _, c := range zooCases() {
+		in := pebble.MustInstance(c.g, c.p)
+		for _, cfg := range exactConfigs(budget) {
+			tag := c.name + "/" + cfg.Heuristic.String()
+			if cfg.Dominance {
+				tag += "+dom"
+			}
+			got, err := ExactWith(context.Background(), in, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			want, err := ExactOracleWith(in, cfg)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", tag, err)
+			}
+			if got.Cost != want.Cost || got.States != want.States || got.Pruned != want.Pruned ||
+				got.Incumbent != want.Incumbent || got.LowerBound != want.LowerBound {
+				t.Errorf("%s: table (cost %d, states %d, pruned %d) ≠ oracle (cost %d, states %d, pruned %d)",
+					tag, got.Cost, got.States, got.Pruned, want.Cost, want.States, want.Pruned)
+			}
+			if got.HeuristicMode != cfg.Heuristic {
+				t.Errorf("%s: result reports mode %v", tag, got.HeuristicMode)
+			}
+		}
+	}
+}
+
+// TestExactModesAgreeOnOptimum asserts that every heuristic mode, with
+// and without dominance pruning, proves the same optimum on the zoo —
+// and that witness runs per mode replay to that same cost. States
+// expanded may (and should) differ; the optimum may not.
+func TestExactModesAgreeOnOptimum(t *testing.T) {
+	for _, c := range zooCases() {
+		in := pebble.MustInstance(c.g, c.p)
+		ref, err := Exact(in, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, cfg := range exactConfigs(budget) {
+			res, err := ExactWith(context.Background(), in, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, cfg.Heuristic, err)
+			}
+			if res.Cost != ref.Cost {
+				t.Errorf("%s: mode %v (dom %v) proves cost %d, default proves %d",
+					c.name, cfg.Heuristic, cfg.Dominance, res.Cost, ref.Cost)
+			}
+			wcfg := cfg
+			wcfg.Witness = true
+			wres, err := ExactWith(context.Background(), in, wcfg)
+			if err != nil {
+				t.Fatalf("%s/%s witness: %v", c.name, cfg.Heuristic, err)
+			}
+			if wres.Cost != ref.Cost {
+				t.Errorf("%s: witness mode %v cost %d ≠ %d", c.name, cfg.Heuristic, wres.Cost, ref.Cost)
+			}
+			if wres.Strategy == nil {
+				t.Fatalf("%s/%s: witness run returned no strategy", c.name, cfg.Heuristic)
+			}
+			rep, rerr := pebble.Replay(in, wres.Strategy)
+			if rerr != nil {
+				t.Fatalf("%s/%s: witness does not replay: %v", c.name, cfg.Heuristic, rerr)
+			}
+			if rep.Cost != ref.Cost {
+				t.Errorf("%s/%s: witness replays to %d, optimum is %d", c.name, cfg.Heuristic, rep.Cost, ref.Cost)
+			}
 		}
 	}
 }

@@ -50,22 +50,55 @@ type Result struct {
 	Incumbent int64
 	// LowerBound is an admissible lower bound on the optimum: the proven
 	// optimum on a complete run, otherwise the minimum f-value left on
-	// the open frontier (g-cost plus the compute-floor heuristic).
+	// the open frontier (g-cost plus the configured admissible
+	// heuristic), clamped to never exceed Incumbent.
 	LowerBound int64
 
 	// Strategy is the reconstructed move sequence (present when the
 	// search was run via ExactWithStrategy; nil from Exact). On a partial
 	// result it replays to the incumbent cost, not the optimum.
 	Strategy *pebble.Strategy
+
+	// Pruned counts candidates discarded before hashing: states strictly
+	// dominated by a settled state plus (one-shot mode) states the
+	// heuristic proved dead. Zero when dominance is off and the instance
+	// is not one-shot.
+	Pruned int
+	// HeuristicMode records which heuristic stack guided the search.
+	HeuristicMode HeuristicMode
+}
+
+// Config selects the search variant. The zero value is a valid
+// no-frills configuration (max heuristic, no dominance, no witness, but
+// also no state budget); most callers want DefaultConfig.
+type Config struct {
+	// MaxStates bounds the number of distinct states expanded; exceeding
+	// it stops the search with a partial Result and ErrBudget.
+	MaxStates int
+	// Heuristic selects the admissible bound stack (zero value:
+	// HeuristicMax, the strongest).
+	Heuristic HeuristicMode
+	// Dominance enables pruning of strictly dominated candidates. It is
+	// ignored in witness mode, where shade canonicalization is off and
+	// the per-position subset test would be unsound.
+	Dominance bool
+	// Witness requests reconstruction of one optimal move sequence.
+	Witness bool
+}
+
+// DefaultConfig is the configuration the plain Exact entry points run:
+// the max heuristic with dominance pruning — the fastest sound setup.
+func DefaultConfig(maxStates int) Config {
+	return Config{MaxStates: maxStates, Heuristic: HeuristicMax, Dominance: true}
 }
 
 // Exact computes the exact optimum pebbling cost of the instance by A*
 // search over configurations (processor shades are canonicalized, so
-// symmetric configurations collapse). The heuristic is the admissible
-// compute floor ⌈uncomputed/k⌉·computeCost — every remaining node costs
-// at least one k-wide compute move. maxStates bounds the number of
-// distinct states visited; exceeding it returns a partial Result plus an
-// error wrapping ErrBudget (see Result for the anytime contract).
+// symmetric configurations collapse) under DefaultConfig: the max of the
+// compute-floor and I/O-aware admissible heuristics (see heuristic.go)
+// plus dominance pruning (see dominate.go). maxStates bounds the number
+// of distinct states visited; exceeding it returns a partial Result plus
+// an error wrapping ErrBudget (see Result for the anytime contract).
 //
 // Exact handles every Params combination: multiprocessor parallel moves,
 // zero compute costs (classic SPP, where Dijkstra's non-negative-edge
@@ -73,38 +106,51 @@ type Result struct {
 // search state).
 func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
 	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactCtx
-	return exact(context.Background(), in, maxStates, false, nil)
+	return exact(context.Background(), in, DefaultConfig(maxStates), nil)
 }
 
 // ExactCtx is Exact honoring a context: the search polls ctx and stops
 // with a partial (anytime) result when it is canceled or its deadline
 // passes, returning an error wrapping ctx.Err().
 func ExactCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(ctx, in, maxStates, false, nil)
+	return exact(ctx, in, DefaultConfig(maxStates), nil)
+}
+
+// ExactWith is Exact under an explicit Config — heuristic mode,
+// dominance pruning, witness reconstruction and the state budget are all
+// caller-chosen. The benchmark harness and the per-mode equivalence
+// tests use it; ordinary callers should prefer the plain entry points,
+// which run DefaultConfig.
+func ExactWith(ctx context.Context, in *pebble.Instance, cfg Config) (*Result, error) {
+	return exact(ctx, in, cfg, nil)
 }
 
 // ExactWithStrategy is Exact additionally reconstructing one optimal
 // strategy (via parent pointers); the result replays to exactly the
 // optimal cost. Costs slightly more memory per state.
 func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
+	cfg := DefaultConfig(maxStates)
+	cfg.Witness = true
 	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactWithStrategyCtx
-	return exact(context.Background(), in, maxStates, true, nil)
+	return exact(context.Background(), in, cfg, nil)
 }
 
 // ExactWithStrategyCtx is ExactWithStrategy honoring a context. On a
 // partial stop the returned strategy (if any) replays to the incumbent
 // cost.
 func ExactWithStrategyCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(ctx, in, maxStates, true, nil)
+	cfg := DefaultConfig(maxStates)
+	cfg.Witness = true
+	return exact(ctx, in, cfg, nil)
 }
 
 // exact runs the search. tab overrides the state table (tests pass the
 // map-backed hashtab.Ref oracle); nil selects the open-addressing table.
-func exact(ctx context.Context, in *pebble.Instance, maxStates int, witness bool, tab hashtab.Index) (*Result, error) {
+func exact(ctx context.Context, in *pebble.Instance, cfg Config, tab hashtab.Index) (*Result, error) {
 	n := in.Graph.N()
 	if n == 0 {
-		res := &Result{Cost: 0}
-		if witness {
+		res := &Result{Cost: 0, Status: StatusComplete, HeuristicMode: cfg.Heuristic}
+		if cfg.Witness {
 			res.Strategy = &pebble.Strategy{}
 		}
 		return res, nil
@@ -115,7 +161,8 @@ func exact(ctx context.Context, in *pebble.Instance, maxStates int, witness bool
 	if tab == nil {
 		tab = hashtab.New(stateWords(in.K), 1024)
 	}
-	s := &solver{in: in, ctx: ctx, n: n, maxStates: maxStates, witness: witness, tab: tab,
+	s := &solver{in: in, ctx: ctx, n: n, cfg: cfg, witness: cfg.Witness, tab: tab,
+		useDom:    cfg.Dominance && !cfg.Witness,
 		incumbent: math.MaxInt64, incumbentIdx: -1}
 	return s.run()
 }
@@ -128,11 +175,12 @@ type parentEdge struct {
 }
 
 type solver struct {
-	in        *pebble.Instance
-	ctx       context.Context
-	n         int
-	maxStates int
-	witness   bool
+	in      *pebble.Instance
+	ctx     context.Context
+	n       int
+	cfg     Config
+	witness bool // == cfg.Witness, hoisted for the hot path
+	useDom  bool // dominance pruning active (cfg.Dominance && !witness)
 
 	// Anytime bookkeeping: the cheapest goal-state g-cost relaxed so far
 	// (MaxInt64 until a feasible pebbling is seen) and, in witness mode,
@@ -142,11 +190,23 @@ type solver struct {
 
 	predMask []uint64 // predecessor bitmask per node
 	sinkMask uint64
+	allMask  uint64       // low n bits set
+	kr       int          // k·r, total red capacity
+	topo     []dag.NodeID // precomputed topological order (shared with Graph)
+	chainDP  []int32      // longest-uncomputed-chain DP scratch
 
 	tab    hashtab.Index // state identity → dense index
 	dist   []int64       // best g-cost per state index
 	parent []parentEdge  // per state index; witness mode only
 	bq     bucketQueue
+
+	// Dominance pruning state (useDom only): which state indices have
+	// been expanded, the (blue, computed) side index over them, and the
+	// number of candidates dropped (reported as Result.Pruned together
+	// with dead-state drops).
+	settled []bool
+	dom     *domIndex
+	pruned  int
 
 	curIdx int32 // index of the state being expanded
 
@@ -165,16 +225,10 @@ func (s *solver) blueWord(w []uint64) uint64     { return w[s.in.K] }
 func (s *solver) computedWord(w []uint64) uint64 { return w[s.in.K+1] }
 
 func (s *solver) run() (*Result, error) {
-	g := s.in.Graph
 	k := s.in.K
-	s.predMask = make([]uint64, s.n)
-	for v := 0; v < s.n; v++ {
-		for _, u := range g.Pred(dag.NodeID(v)) {
-			s.predMask[v] |= 1 << uint(u)
-		}
-	}
-	for _, v := range g.Sinks() {
-		s.sinkMask |= 1 << uint(v)
+	s.initDerived()
+	if s.useDom {
+		s.dom = newDomIndex()
 	}
 
 	w := stateWords(k)
@@ -196,7 +250,10 @@ func (s *solver) run() (*Result, error) {
 	if s.witness {
 		s.parent = append(s.parent, parentEdge{from: -1})
 	}
-	s.bq.push(s.heuristic(0), int32(startIdx), 0)
+	if s.useDom {
+		s.settled = append(s.settled, false)
+	}
+	s.bq.push(s.h(start), int32(startIdx), 0)
 
 	expanded := 0
 	pops := 0
@@ -213,8 +270,14 @@ func (s *solver) run() (*Result, error) {
 		}
 		s.cur = append(s.cur[:0], s.tab.Key(int(e.idx))...)
 		if s.isGoal(s.cur) {
+			// Complete-run invariant: LowerBound == Cost == Incumbent.
+			// The first goal popped is provably optimal, so all three are
+			// e.g by construction — set explicitly rather than carrying
+			// the incumbent field, which a stronger heuristic can leave
+			// transiently above a frontier minimum mid-search.
 			res := &Result{Cost: e.g, States: expanded,
-				Status: StatusComplete, Incumbent: e.g, LowerBound: e.g}
+				Status: StatusComplete, Incumbent: e.g, LowerBound: e.g,
+				Pruned: s.pruned, HeuristicMode: s.cfg.Heuristic}
 			if s.witness {
 				strat, err := s.reconstruct(e.idx)
 				if err != nil {
@@ -225,13 +288,16 @@ func (s *solver) run() (*Result, error) {
 			return res, nil
 		}
 		expanded++
-		if expanded > s.maxStates {
+		if expanded > s.cfg.MaxStates {
 			// The popped state was goal-checked but not expanded; its
 			// f-value is still a valid frontier bound.
-			poppedF := e.g + s.heuristic(s.computedWord(s.cur))
+			poppedF := e.g + s.h(s.cur)
 			return s.partial(StatusBudget, expanded, poppedF), budgetErr(expanded)
 		}
 		s.curIdx = e.idx
+		if s.useDom {
+			s.settle(e.idx)
+		}
 		s.expand(e.g)
 	}
 	return nil, fmt.Errorf("opt: no pebbling found (unreachable for valid instances)")
@@ -243,7 +309,8 @@ func (s *solver) run() (*Result, error) {
 // when a popped state went unexpanded, that state's f. OPT is guaranteed
 // to lie in [LowerBound, Incumbent].
 func (s *solver) partial(st Status, expanded int, poppedF int64) *Result {
-	res := &Result{Cost: -1, States: expanded, Status: st, Incumbent: -1}
+	res := &Result{Cost: -1, States: expanded, Status: st, Incumbent: -1,
+		Pruned: s.pruned, HeuristicMode: s.cfg.Heuristic}
 	lb := int64(math.MaxInt64)
 	if f, ok := s.bq.minF(); ok {
 		lb = f
@@ -281,7 +348,7 @@ func (s *solver) reconstruct(goal int32) (*pebble.Strategy, error) {
 		}
 		rev = append(rev, e.move)
 		idx = e.from
-		if len(rev) > s.maxStates {
+		if len(rev) > s.cfg.MaxStates {
 			return nil, fmt.Errorf("opt: witness chain too long (internal error)")
 		}
 	}
@@ -290,26 +357,6 @@ func (s *solver) reconstruct(goal int32) (*pebble.Strategy, error) {
 		st.Append(rev[i])
 	}
 	return st, nil
-}
-
-// heuristic returns an admissible lower bound on the cost to go: every
-// node never yet computed must appear in some compute move, and one move
-// computes at most k of them. For classic SPP (free computes) it is 0.
-// It is also consistent — a compute move costs ComputeCost and lowers the
-// bound by at most ComputeCost; other moves leave it unchanged — which is
-// what lets the bucket queue's cursor move only forward.
-//
-//mpp:hotpath
-func (s *solver) heuristic(computed uint64) int64 {
-	if s.in.ComputeCost == 0 {
-		return 0
-	}
-	uncomputed := s.n - popcount(computed)
-	if uncomputed <= 0 {
-		return 0
-	}
-	k := s.in.K
-	return int64((uncomputed+k-1)/k) * int64(s.in.ComputeCost)
 }
 
 //mpp:hotpath
@@ -333,6 +380,15 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 		// must be reconstructed (relabeling shades would desynchronize
 		// the recorded moves' processor indices).
 		canonicalizeRed(s.cand[:s.in.K])
+		// A strictly dominated candidate is dropped before it is even
+		// hashed — a settled state already covers everything it could
+		// do, at lower cost. Goal candidates are never dominated (the
+		// dominating state would itself be a goal, and goals are popped,
+		// not settled), so the incumbent bookkeeping below is unharmed.
+		if s.useDom && s.dominated(cost) {
+			s.pruned++
+			return
+		}
 	}
 	idx, existed := s.tab.Insert(s.cand)
 	if existed {
@@ -344,6 +400,9 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 		s.dist = append(s.dist, cost)
 		if s.witness {
 			s.parent = append(s.parent, parentEdge{from: -1})
+		}
+		if s.useDom {
+			s.settled = append(s.settled, false)
 		}
 	}
 	if s.witness {
@@ -357,7 +416,15 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 		s.incumbent = cost
 		s.incumbentIdx = int32(idx)
 	}
-	s.bq.push(cost+s.heuristic(s.computedWord(s.cand)), int32(idx), cost)
+	h := s.h(s.cand)
+	if h < 0 {
+		// Dead state (one-shot): provably cannot reach the goal. It
+		// stays in the table (so re-derivations are cheap) but is never
+		// queued. Counted into Pruned alongside dominance drops.
+		s.pruned++
+		return
+	}
+	s.bq.push(cost+h, int32(idx), cost)
 }
 
 // expand generates every successor state of s.cur. Per-processor option
@@ -403,8 +470,16 @@ func (s *solver) expand(cost int64) {
 
 	// Delete edges (cost 0): remove one red pebble. Blue deletions are
 	// never beneficial (slow memory is unlimited), so they are skipped.
+	// Under dominance pruning, deletes are additionally restricted to
+	// *full* processors (lazy deletion): a move adds at most one red
+	// pebble per processor, so one free slot is always enough, and any
+	// pebbling reorders at equal cost into this normal form — surplus
+	// pebbles never invalidate later moves and only help the goal.
 	for p := 0; p < k; p++ {
 		reds := s.cur[p]
+		if s.useDom && popcount(reds) < s.in.R {
+			continue
+		}
 		for reds != 0 {
 			v := trailingZeros(reds)
 			reds &= reds - 1

@@ -20,15 +20,23 @@ import (
 
 // ExactOracle is Exact backed by the map-based reference state table.
 func ExactOracle(in *pebble.Instance, maxStates int) (*Result, error) {
+	return ExactOracleWith(in, DefaultConfig(maxStates))
+}
+
+// ExactOracleWith is ExactWith backed by the map-based reference state
+// table, so every Config combination — heuristic mode, dominance,
+// witness — can be locked byte-for-byte against the arena-backed run.
+func ExactOracleWith(in *pebble.Instance, cfg Config) (*Result, error) {
 	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
-	return exact(context.Background(), in, maxStates, false, hashtab.NewRef(stateWords(in.K)))
+	return exact(context.Background(), in, cfg, hashtab.NewRef(stateWords(in.K)))
 }
 
 // ExactWithStrategyOracle is ExactWithStrategy backed by the map-based
 // reference state table.
 func ExactWithStrategyOracle(in *pebble.Instance, maxStates int) (*Result, error) {
-	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
-	return exact(context.Background(), in, maxStates, true, hashtab.NewRef(stateWords(in.K)))
+	cfg := DefaultConfig(maxStates)
+	cfg.Witness = true
+	return ExactOracleWith(in, cfg)
 }
 
 // ZeroIOBigOracle is ZeroIOBig backed by the map-based reference memo.

@@ -33,23 +33,36 @@ type bqEntry struct {
 }
 
 // bucketQueue is a monotone bucket (calendar) priority queue over integer
-// f-values. A* with the admissible, consistent compute-floor heuristic
-// pops f in non-decreasing order, so a single forward-moving cursor over
-// an array of buckets replaces the binary heap: push is an append, pop is
-// a slice shrink, and nothing is boxed through an interface. Ties within
-// a bucket pop LIFO, which is deterministic — the oracle solvers share
-// this queue so expansion order (hence States counts) matches exactly.
+// f-values. A* with an admissible, consistent heuristic (every mode of
+// the heuristic stack qualifies) pops f in non-decreasing order, so a
+// single forward-moving cursor over an array of buckets replaces the
+// binary heap: push is an append, pop is a slice shrink, and nothing is
+// boxed through an interface. Ties within a bucket pop LIFO, which is
+// deterministic — the oracle solvers share this queue so expansion order
+// (hence States counts) matches exactly.
 type bucketQueue struct {
 	buckets [][]bqEntry
 	cur     int // lowest possibly-non-empty f; only moves forward in pop
 	size    int
 }
 
+// growBuckets widens the bucket array to cover f-value fi. The I/O-aware
+// heuristics scale f with g, so the key range is up to g times wider than
+// under the bare compute floor; geometric growth with headroom keeps this
+// off the hot path (it runs O(log maxF) times per search).
+func (q *bucketQueue) growBuckets(fi int) {
+	want := 2 * len(q.buckets)
+	if want <= fi {
+		want = fi + 1
+	}
+	q.buckets = append(q.buckets, make([][]bqEntry, want-len(q.buckets))...)
+}
+
 //mpp:hotpath
 func (q *bucketQueue) push(f int64, idx int32, g int64) {
 	fi := int(f)
-	for fi >= len(q.buckets) {
-		q.buckets = append(q.buckets, nil)
+	if fi >= len(q.buckets) {
+		q.growBuckets(fi)
 	}
 	if fi < q.cur {
 		// Unreachable with a consistent heuristic; kept so the queue

@@ -71,6 +71,13 @@ type (
 	// SearchStatus says whether a search completed or which budget
 	// stopped it.
 	SearchStatus = opt.Status
+	// SearchConfig selects the exact solver's heuristic mode and pruning
+	// switches; the zero value is the bare compute floor with pruning off,
+	// opt.DefaultConfig the full stack.
+	SearchConfig = opt.Config
+	// HeuristicMode picks the admissible cost-to-go bound (floor | io |
+	// max) the exact search runs under.
+	HeuristicMode = opt.HeuristicMode
 )
 
 // ErrBudget is returned (wrapped) when a solver exhausts its state
@@ -92,6 +99,12 @@ func Exact(in *Instance, maxStates int) (*OptResult, error) { return opt.Exact(i
 // expires, again returning its incumbent/lower-bound bracket.
 func ExactCtx(ctx context.Context, in *Instance, maxStates int) (*OptResult, error) {
 	return opt.ExactCtx(ctx, in, maxStates)
+}
+
+// ExactWith is ExactCtx with an explicit SearchConfig — heuristic mode
+// and dominance pruning — instead of the default full stack.
+func ExactWith(ctx context.Context, in *Instance, cfg SearchConfig) (*OptResult, error) {
+	return opt.ExactWith(ctx, in, cfg)
 }
 
 // ZeroIO decides whether g has a zero-I/O pebbling with r red pebbles

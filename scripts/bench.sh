@@ -16,5 +16,10 @@ out="${1:-BENCH_$(date -u +%Y-%m-%d).json}"
 echo "== go test -bench (micro + experiment benchmarks) =="
 go test -run 'xxx' -bench . -benchmem -benchtime "${BENCHTIME:-1x}" .
 
+# Diff the fresh run against the most recent committed snapshot (if any):
+# the snapshot is still written on a regression, but the script fails so
+# the >20% states-expanded jump cannot land silently.
+prev=$(ls BENCH_*.json 2>/dev/null | grep -vF "$out" | sort | tail -1 || true)
+
 echo "== mppbench -> $out =="
-go run ./cmd/mppbench ${QUICK:+-quick} -out "$out"
+go run ./cmd/mppbench ${QUICK:+-quick} -out "$out" ${prev:+-diff "$prev"}

@@ -40,4 +40,16 @@ go test -race -short ./internal/opt/ ./internal/sched/ ./internal/exp/
 echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
 
+echo "== states-expanded regression gate =="
+# Exact-search expansion counts are deterministic, so a quick solver-only
+# mppbench run diffed against the latest committed snapshot catches any
+# heuristic/pruning regression (>20% more states on a shared benchmark
+# fails). v1 snapshots are read compatibly.
+latest_bench=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -n "$latest_bench" ]; then
+    go run ./cmd/mppbench -quick -group solver -out /dev/null -diff "$latest_bench"
+else
+    echo "no committed BENCH_*.json snapshot; skipping"
+fi
+
 echo "verify OK"
