@@ -28,6 +28,13 @@
 // once per heuristic mode (-floor / -io / -max suffixes; the unsuffixed
 // name is the DefaultConfig run kept comparable with v1 snapshots).
 //
+// The headline exact benchmarks additionally sweep the sharded solver's
+// worker count (-w1/-w2/-w4 suffixes, configurable via -workers): each
+// row records its workers value and the wall-clock speedup relative to
+// the -w1 row of the same run. States expanded are byte-identical
+// across the sweep — that is the engine's determinism contract — so
+// -diff compares -wN rows like any other solver row.
+//
 // -diff compares the freshly measured solver records against a committed
 // snapshot (v1 snapshots are read compatibly: their per-op expansion
 // count is recovered from states_per_sec × ns_per_op) and exits non-zero
@@ -44,6 +51,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,7 +76,17 @@ type record struct {
 	StatesPerSec float64 `json:"states_per_sec,omitempty"`
 	// StatesExpanded is the deterministic per-run expansion count of a
 	// solver benchmark (schema v2; recovered from states_per_sec for v1).
+	// Identical across the workers sweep — the parallel engine's
+	// determinism contract, which is why -diff can compare -wN rows
+	// against any baseline that has them.
 	StatesExpanded int `json:"states_expanded,omitempty"`
+	// Workers is the exact solver's shard-worker count for -wN sweep
+	// rows (0 for rows that don't vary it).
+	Workers int `json:"workers,omitempty"`
+	// Speedup is wall-clock ns/op of the workers=1 row of the same
+	// benchmark divided by this row's — recorded on sweep rows when the
+	// same run measured the workers=1 baseline.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 type snapshot struct {
@@ -133,6 +151,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
 	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "engine" or "experiment" (default all)`)
 	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states")
+	workersFlag := flag.String("workers", "1,2,4", `comma-separated worker counts for the exact-search workers sweep ("" disables the -wN rows)`)
 	timeout := flag.Duration("timeout", 0, "deadline per solver call and per experiment (0 = none); searches that hit it are skipped with their bound gap")
 	maxStates := flag.Int("max-states", 0, "cap each exact solver call's explored states (0 = benchmark defaults)")
 	flag.Parse()
@@ -187,6 +206,9 @@ func main() {
 		if rec.StatesPerSec > 0 {
 			fmt.Fprintf(os.Stderr, " %12.0f states/s %8d states", rec.StatesPerSec, rec.StatesExpanded)
 		}
+		if rec.Speedup > 0 {
+			fmt.Fprintf(os.Stderr, " %5.2fx", rec.Speedup)
+		}
 		fmt.Fprintln(os.Stderr)
 	}
 	// exactModes benchmarks one instance under each heuristic mode with
@@ -232,6 +254,49 @@ func main() {
 		}
 	}
 
+	// exactWorkers sweeps the sharded solver's worker count on one
+	// instance. The -w1 row doubles as the speedup baseline; States must
+	// come out byte-identical at every width (checked here, not just in
+	// the tests), so the sweep adds a time dimension without forking the
+	// -diff states contract.
+	sweep, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	exactWorkers := func(name string, in *pebble.Instance, budget int) {
+		var baseNs, wantStates int64 = 0, -1
+		for _, wk := range sweep {
+			wk := wk
+			cfg := opt.DefaultConfig(states(budget))
+			cfg.Workers = wk
+			bname := fmt.Sprintf("%s-w%d", name, wk)
+			rec, err := measure(bname, "solver", minTime, func() (int, error) {
+				ctx, cancel := solverCtx()
+				defer cancel()
+				res, err := opt.ExactWith(ctx, in, cfg)
+				if err != nil {
+					return 0, annotateGap(res, err)
+				}
+				return res.States, nil
+			})
+			if err == nil {
+				if wantStates == -1 {
+					wantStates = int64(rec.StatesExpanded)
+				} else if int64(rec.StatesExpanded) != wantStates {
+					fatal(fmt.Errorf("%s: %d states expanded, want %d — workers sweep broke determinism", bname, rec.StatesExpanded, wantStates))
+				}
+				rec.Workers = wk
+				if wk == 1 {
+					baseNs = rec.NsPerOp
+				}
+				if baseNs > 0 && rec.NsPerOp > 0 {
+					rec.Speedup = math.Round(100*float64(baseNs)/float64(rec.NsPerOp)) / 100
+				}
+			}
+			add(rec, err)
+		}
+	}
+
 	// --- solver group: the exact-search hot paths ---------------------
 	if wantGroup("solver") {
 		gridK1 := pebble.MustInstance(gen.Grid2D(3, 3), pebble.MPP(1, 4, 2))
@@ -246,12 +311,14 @@ func main() {
 		}))
 		gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
 		exactModes("exact-grid2x3-k2", gridK2, 10_000_000)
+		exactWorkers("exact-grid2x3-k2", gridK2, 10_000_000)
 		// A g ≥ 4 gadget where I/O dominates: the zipper forces the single
 		// processor to juggle both source groups, so the I/O-aware modes
 		// prune far ahead of the compute floor.
 		zipg, _ := gen.Zipper(2, 3, 0)
 		zipIn := pebble.MustInstance(zipg, pebble.MPP(1, 4, 5))
 		exactModes("exact-zipper2x3-k1-g5", zipIn, 10_000_000)
+		exactWorkers("exact-zipper2x3-k1-g5", zipIn, 10_000_000)
 		add(measure("exact-witness-grid2x3-k2", "solver", minTime, func() (int, error) {
 			ctx, cancel := solverCtx()
 			defer cancel()
@@ -387,6 +454,10 @@ func diffStates(path string, fresh []record) error {
 	if !strings.HasPrefix(base.Schema, "mpp-bench/") {
 		return fmt.Errorf("-diff %s: unrecognized schema %q", path, base.Schema)
 	}
+	// Every shared solver name enters the baseline map, including rows
+	// whose recovered count is zero: a zero or missing value must surface
+	// as an explicit "n/a" below, never as a silent skip or an Inf/NaN
+	// ratio feeding the exit decision.
 	baseline := make(map[string]int)
 	for _, r := range base.Benchmarks {
 		if r.Group != "solver" {
@@ -396,18 +467,21 @@ func diffStates(path string, fresh []record) error {
 		if st == 0 && r.StatesPerSec > 0 && r.NsPerOp > 0 {
 			st = int(math.Round(r.StatesPerSec * float64(r.NsPerOp) / 1e9))
 		}
-		if st > 0 {
-			baseline[r.Name] = st
-		}
+		baseline[r.Name] = st
 	}
 	regressed := 0
 	compared := 0
 	for _, r := range fresh {
-		if r.Group != "solver" || r.StatesExpanded == 0 {
+		if r.Group != "solver" {
 			continue
 		}
 		want, ok := baseline[r.Name]
 		if !ok {
+			continue // new benchmark, nothing to compare against
+		}
+		if want <= 0 || r.StatesExpanded <= 0 {
+			fmt.Fprintf(os.Stderr, "mppbench: n/a %s: states expanded %s now vs %s in %s (ratio undefined, not gated)\n",
+				r.Name, orMissing(r.StatesExpanded), orMissing(want), path)
 			continue
 		}
 		compared++
@@ -423,6 +497,33 @@ func diffStates(path string, fresh []record) error {
 		return fmt.Errorf("%d solver benchmark(s) regressed >20%% in states expanded vs %s", regressed, path)
 	}
 	return nil
+}
+
+// orMissing renders a states-expanded count for the -diff n/a report:
+// zero means the row never recorded one (engine-group style row or a
+// run skipped under -timeout), which must read as missing, not "0".
+func orMissing(n int) string {
+	if n <= 0 {
+		return "n/a"
+	}
+	return strconv.Itoa(n)
+}
+
+// parseWorkers parses the -workers flag: a comma-separated list of
+// positive worker counts, or the empty string to disable the sweep.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-workers: %q is not a positive worker count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // gitCommit stamps the snapshot with the current HEAD, best-effort: a

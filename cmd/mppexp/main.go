@@ -76,19 +76,28 @@ func main() {
 		err     error
 		elapsed time.Duration
 	}
+	// A fixed pool of `workers` goroutines pulling experiment indices
+	// from a channel — never one goroutine per experiment. With the
+	// exact solver itself fanning out Config.Workers shard workers per
+	// search, an unbounded spawn here would oversubscribe the machine
+	// quadratically under -timeout pressure.
 	results := make([]result, len(selected))
+	queue := make(chan int, len(selected))
+	for i := range selected {
+		queue <- i
+	}
+	close(queue)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, e := range selected {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, e exp.Experiment) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			tab, err := exp.RunSafe(context.Background(), e, cfg)
-			results[i] = result{tab, err, time.Since(start)}
-		}(i, e)
+			for i := range queue {
+				start := time.Now()
+				tab, err := exp.RunSafe(context.Background(), selected[i], cfg)
+				results[i] = result{tab, err, time.Since(start)}
+			}
+		}()
 	}
 	wg.Wait()
 

@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -251,11 +252,13 @@ func heuristics() []sched.Scheduler {
 	}
 }
 
-// bestOf runs the heuristic portfolio concurrently (one goroutine per
-// scheduler — they share nothing but the read-only instance), considers
-// any extra pre-built strategies, post-optimizes the winner with
-// sched.Improve, and returns the name and report of the cheapest valid
-// result.
+// bestOf runs the heuristic portfolio concurrently on a pool of at most
+// GOMAXPROCS goroutines (the schedulers share nothing but the read-only
+// instance), considers any extra pre-built strategies, post-optimizes
+// the winner with sched.Improve, and returns the name and report of the
+// cheapest valid result. The pool is bounded so that experiment-level
+// concurrency (mppexp -j) multiplied by the portfolio does not
+// oversubscribe the machine the sharded exact solver also runs on.
 //
 // Per-scheduler failures and panics are never silent: each is recovered
 // in its own goroutine and recorded as a note on t (when non-nil), so a
@@ -271,28 +274,42 @@ func bestOf(ctx context.Context, t *Table, in *pebble.Instance, extra map[string
 	}
 	hs := heuristics()
 	results := make(chan outcome, len(hs))
-	var wg sync.WaitGroup
+	jobs := make(chan sched.Scheduler, len(hs))
 	for _, s := range hs {
+		jobs <- s
+	}
+	close(jobs)
+	pool := runtime.GOMAXPROCS(0)
+	if pool > len(hs) {
+		pool = len(hs)
+	}
+	runOne := func(s sched.Scheduler) {
+		defer func() {
+			if r := recover(); r != nil {
+				results <- outcome{name: s.Name(), failure: fmt.Sprintf("panic: %v", r)}
+			}
+		}()
+		strat, err := sched.ScheduleCtx(ctx, s, in)
+		if err != nil {
+			results <- outcome{name: s.Name(), failure: err.Error()}
+			return
+		}
+		rep, err := pebble.Replay(in, strat)
+		if err != nil {
+			results <- outcome{name: s.Name(), failure: fmt.Sprintf("invalid strategy: %v", err)}
+			return
+		}
+		results <- outcome{name: s.Name(), strat: strat, rep: rep}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
-		go func(s sched.Scheduler) {
+		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					results <- outcome{name: s.Name(), failure: fmt.Sprintf("panic: %v", r)}
-				}
-			}()
-			strat, err := sched.ScheduleCtx(ctx, s, in)
-			if err != nil {
-				results <- outcome{name: s.Name(), failure: err.Error()}
-				return
+			for s := range jobs {
+				runOne(s)
 			}
-			rep, err := pebble.Replay(in, strat)
-			if err != nil {
-				results <- outcome{name: s.Name(), failure: fmt.Sprintf("invalid strategy: %v", err)}
-				return
-			}
-			results <- outcome{name: s.Name(), strat: strat, rep: rep}
-		}(s)
+		}()
 	}
 	wg.Wait()
 	close(results)

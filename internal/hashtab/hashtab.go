@@ -13,10 +13,26 @@
 // serves as the property-test oracle.
 package hashtab
 
+import "math/bits"
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
+
+// ShardOf partitions a 64-bit hash over n shards with the multiply-shift
+// reduction: the high 64 bits of h·n are uniform over [0, n) for a
+// well-mixed h, with no modulo bias and no division. The sharded exact
+// solver assigns state ownership with it; since the result is a pure
+// function of (h, n), the partition is identical across runs — the
+// property the solver's cross-worker determinism rests on. n must be
+// positive; n == 1 always yields shard 0.
+//
+//mpp:hotpath
+func ShardOf(h uint64, n int) int {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return int(hi)
+}
 
 // Hash returns a 64-bit hash of the key words: FNV-1a over each word,
 // finished with a splitmix64-style avalanche so that keys differing only

@@ -1,0 +1,56 @@
+package hashtab
+
+import "testing"
+
+// TestShardOfRange checks that every hash maps into [0, n) for shard
+// counts the solver actually uses, including the extremes of the hash
+// space.
+func TestShardOfRange(t *testing.T) {
+	hashes := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1, 0x8000000000000000}
+	for i := 0; i < 1000; i++ {
+		hashes = append(hashes, Hash([]uint64{uint64(i), uint64(i * 7)}))
+	}
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 64} {
+		for _, h := range hashes {
+			s := ShardOf(h, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%#x, %d) = %d, out of range", h, n, s)
+			}
+		}
+	}
+}
+
+// TestShardOfDeterministic: the partition must be a pure function of
+// (hash, n) — the solver's cross-worker determinism rests on it.
+func TestShardOfDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		h := Hash([]uint64{uint64(i)})
+		for _, n := range []int{2, 4, 7} {
+			if ShardOf(h, n) != ShardOf(h, n) {
+				t.Fatalf("ShardOf(%#x, %d) not deterministic", h, n)
+			}
+		}
+	}
+}
+
+// TestShardOfSpreads: with a well-mixed hash the multiply-shift
+// reduction should use every shard and stay within loose balance. Not a
+// statistical test — a sanity check that the reduction reads the high
+// bits (a naive int(h) % n truncation bug would fail the coverage
+// requirement for small n with low-entropy high bits).
+func TestShardOfSpreads(t *testing.T) {
+	const n = 7
+	counts := make([]int, n)
+	const samples = 7000
+	for i := 0; i < samples; i++ {
+		counts[ShardOf(Hash([]uint64{uint64(i), uint64(i) << 32}), n)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d never hit over %d samples", s, samples)
+		}
+		if c < samples/n/2 || c > samples/n*2 {
+			t.Errorf("shard %d count %d far from uniform %d", s, c, samples/n)
+		}
+	}
+}

@@ -19,7 +19,12 @@ package opt
 // Pruning is only enabled in non-witness mode, alongside shade
 // canonicalization (a pruned state has no parent edge, and the subset
 // test per canonical position is what makes the processor matching
-// sound). Settled states are indexed by a (blue, computed) hash in an
+// sound). "Settled" means expanded in an *earlier wave* of the layered
+// search: solver.settleWave registers a wave's expansions at the wave
+// boundary, so the dominator set any candidate is tested against is a
+// pure function of the wave number — the property that keeps pruning
+// byte-identical across worker counts (parallel.go). Settled states
+// are indexed by a (blue, computed) hash in an
 // open-addressing side table whose buckets chain all settled states
 // sharing those two words; red words are fetched from the main state
 // table's arena on demand, so the index itself stores three int32 arrays
@@ -138,15 +143,18 @@ func (d *domIndex) grow() {
 	}
 }
 
-// dominated reports whether the candidate in s.cand (already
-// canonicalized) at g-cost cost is strictly dominated by some settled
-// state. Settled keys are read straight from the table arena — no copies.
+// dominated reports whether the candidate words w (already
+// canonicalized) at g-cost cost are strictly dominated by some settled
+// state. Settled keys are read straight from the table arena — no
+// copies. States are sharded by their (blue, computed) words (see
+// parallel.go), so every potential dominator of w lives on this shard:
+// the check needs no cross-shard traffic.
 //
 //mpp:hotpath
-func (s *solver) dominated(cost int64) bool {
+func (s *solver) dominated(w []uint64, cost int64) bool {
 	k := s.in.K
-	blue := s.cand[k]
-	computed := s.cand[k+1]
+	blue := w[k]
+	computed := w[k+1]
 	for e := s.dom.bucket(blue, computed); e != domEmptySlot; e = s.dom.next[e] {
 		a := s.dom.state[e]
 		if s.dist[a] >= cost {
@@ -155,7 +163,7 @@ func (s *solver) dominated(cost int64) bool {
 		aw := s.tab.Key(int(a))
 		dom := true
 		for p := 0; p < k; p++ {
-			if s.cand[p]&^aw[p] != 0 {
+			if w[p]&^aw[p] != 0 {
 				dom = false
 				break
 			}
@@ -165,20 +173,4 @@ func (s *solver) dominated(cost int64) bool {
 		}
 	}
 	return false
-}
-
-// settle registers the state being expanded as settled so later
-// candidates can be pruned against it. Reopened states (expanded again
-// at a cheaper cost) are not re-registered: their dist entry already
-// reflects the cheaper cost, and a duplicate chain entry would only slow
-// the subset scan.
-//
-//mpp:hotpath
-func (s *solver) settle(idx int32) {
-	if s.settled[idx] {
-		return
-	}
-	s.settled[idx] = true
-	k := s.in.K
-	s.dom.add(s.cur[k], s.cur[k+1], idx)
 }

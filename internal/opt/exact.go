@@ -15,12 +15,16 @@
 // queue, and candidate expansion reuses scratch buffers — a rejected
 // candidate touches the heap zero times. A map-backed oracle run of the
 // same search (see oracle.go) locks the results byte-for-byte.
+//
+// The search is organized as a wave-synchronous A* over f-layers (see
+// parallel.go): with Config.Workers > 1 the state space is hash-sharded
+// across workers HDA*-style, and the layer barriers make the results
+// byte-identical to the single-worker run regardless of worker count.
 package opt
 
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/bits"
 
 	"repro/internal/dag"
@@ -40,7 +44,7 @@ type Result struct {
 	// partial result it equals Incumbent (-1 if no feasible pebbling was
 	// seen before the stop).
 	Cost   int64
-	States int // states expanded
+	States int // states expanded (summed across shards)
 
 	// Status reports whether the search completed or why it stopped.
 	Status Status
@@ -51,7 +55,10 @@ type Result struct {
 	// LowerBound is an admissible lower bound on the optimum: the proven
 	// optimum on a complete run, otherwise the minimum f-value left on
 	// the open frontier (g-cost plus the configured admissible
-	// heuristic), clamped to never exceed Incumbent.
+	// heuristic). When an incumbent exists it is clamped to never exceed
+	// Incumbent; an incumbent-less partial result reports the frontier
+	// bound unclamped — always ≥ 0, never dragged toward Incumbent's -1
+	// sentinel.
 	LowerBound int64
 
 	// Strategy is the reconstructed move sequence (present when the
@@ -62,18 +69,22 @@ type Result struct {
 	// Pruned counts candidates discarded before hashing: states strictly
 	// dominated by a settled state plus (one-shot mode) states the
 	// heuristic proved dead. Zero when dominance is off and the instance
-	// is not one-shot.
+	// is not one-shot. Deterministic for a fixed worker count; in
+	// one-shot mode the dead-state share can differ across worker counts
+	// (see parallel.go), so only the other Result fields are part of the
+	// cross-worker determinism contract there.
 	Pruned int
 	// HeuristicMode records which heuristic stack guided the search.
 	HeuristicMode HeuristicMode
 }
 
 // Config selects the search variant. The zero value is a valid
-// no-frills configuration (max heuristic, no dominance, no witness, but
-// also no state budget); most callers want DefaultConfig.
+// no-frills configuration (max heuristic, no dominance, no witness, no
+// state budget, GOMAXPROCS workers); most callers want DefaultConfig.
 type Config struct {
-	// MaxStates bounds the number of distinct states expanded; exceeding
-	// it stops the search with a partial Result and ErrBudget.
+	// MaxStates bounds the number of distinct states expanded (summed
+	// across workers); exceeding it stops the search with a partial
+	// Result and ErrBudget. Non-positive means unbounded.
 	MaxStates int
 	// Heuristic selects the admissible bound stack (zero value:
 	// HeuristicMax, the strongest).
@@ -84,10 +95,19 @@ type Config struct {
 	Dominance bool
 	// Witness requests reconstruction of one optimal move sequence.
 	Witness bool
+	// Workers is the number of search workers the state space is
+	// hash-sharded across. 0 means GOMAXPROCS; 1 runs the same wave
+	// engine inline with no goroutines or channels. Results are
+	// byte-identical for every worker count (States included; Pruned
+	// excepted in one-shot mode — see Result.Pruned).
+	Workers int
 }
 
 // DefaultConfig is the configuration the plain Exact entry points run:
 // the max heuristic with dominance pruning — the fastest sound setup.
+// Workers is left 0 (GOMAXPROCS), so ExactWith callers inherit the
+// sharded parallel search; the plain convenience entry points pin
+// Workers to 1 (see Exact).
 func DefaultConfig(maxStates int) Config {
 	return Config{MaxStates: maxStates, Heuristic: HeuristicMax, Dominance: true}
 }
@@ -104,33 +124,43 @@ func DefaultConfig(maxStates int) Config {
 // zero compute costs (classic SPP, where Dijkstra's non-negative-edge
 // requirement still holds), and one-shot mode (the computed set joins the
 // search state).
+//
+// The plain entry points run single-worker (results are byte-identical
+// either way; one worker keeps the zero-goroutine allocation budget).
+// Use ExactWith with Config.Workers for the sharded parallel search.
 func Exact(in *pebble.Instance, maxStates int) (*Result, error) {
+	cfg := DefaultConfig(maxStates)
+	cfg.Workers = 1
 	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactCtx
-	return exact(context.Background(), in, DefaultConfig(maxStates), nil)
+	return exact(context.Background(), in, cfg, nil)
 }
 
 // ExactCtx is Exact honoring a context: the search polls ctx and stops
 // with a partial (anytime) result when it is canceled or its deadline
 // passes, returning an error wrapping ctx.Err().
 func ExactCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
-	return exact(ctx, in, DefaultConfig(maxStates), nil)
+	cfg := DefaultConfig(maxStates)
+	cfg.Workers = 1
+	return exact(ctx, in, cfg, nil)
 }
 
 // ExactWith is Exact under an explicit Config — heuristic mode,
-// dominance pruning, witness reconstruction and the state budget are all
-// caller-chosen. The benchmark harness and the per-mode equivalence
-// tests use it; ordinary callers should prefer the plain entry points,
-// which run DefaultConfig.
+// dominance pruning, witness reconstruction, the state budget and the
+// worker count are all caller-chosen. The benchmark harness, the
+// experiment harness and the per-mode equivalence tests use it; with
+// DefaultConfig it runs the sharded search across GOMAXPROCS workers.
 func ExactWith(ctx context.Context, in *pebble.Instance, cfg Config) (*Result, error) {
 	return exact(ctx, in, cfg, nil)
 }
 
 // ExactWithStrategy is Exact additionally reconstructing one optimal
 // strategy (via parent pointers); the result replays to exactly the
-// optimal cost. Costs slightly more memory per state.
+// optimal cost. Costs slightly more memory per state. Single-worker,
+// like Exact.
 func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
 	cfg := DefaultConfig(maxStates)
 	cfg.Witness = true
+	cfg.Workers = 1
 	//lint:ignore ctxthread deliberate non-ctx convenience API; deadline-aware callers use ExactWithStrategyCtx
 	return exact(context.Background(), in, cfg, nil)
 }
@@ -141,12 +171,15 @@ func ExactWithStrategy(in *pebble.Instance, maxStates int) (*Result, error) {
 func ExactWithStrategyCtx(ctx context.Context, in *pebble.Instance, maxStates int) (*Result, error) {
 	cfg := DefaultConfig(maxStates)
 	cfg.Witness = true
+	cfg.Workers = 1
 	return exact(ctx, in, cfg, nil)
 }
 
-// exact runs the search. tab overrides the state table (tests pass the
-// map-backed hashtab.Ref oracle); nil selects the open-addressing table.
-func exact(ctx context.Context, in *pebble.Instance, cfg Config, tab hashtab.Index) (*Result, error) {
+// exact runs the search. newTab overrides the per-shard state table
+// constructor (tests pass the map-backed hashtab.Ref oracle); nil
+// selects the open-addressing table. A constructor rather than an
+// instance: the sharded engine needs one single-owner table per worker.
+func exact(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() hashtab.Index) (*Result, error) {
 	n := in.Graph.N()
 	if n == 0 {
 		res := &Result{Cost: 0, Status: StatusComplete, HeuristicMode: cfg.Heuristic}
@@ -158,22 +191,31 @@ func exact(ctx context.Context, in *pebble.Instance, cfg Config, tab hashtab.Ind
 	if n > 62 {
 		return nil, fmt.Errorf("opt: Exact supports at most 62 nodes, got %d", n)
 	}
-	if tab == nil {
-		tab = hashtab.New(stateWords(in.K), 1024)
+	if newTab == nil {
+		newTab = func() hashtab.Index { return hashtab.New(stateWords(in.K), 1024) }
 	}
-	s := &solver{in: in, ctx: ctx, n: n, cfg: cfg, witness: cfg.Witness, tab: tab,
-		useDom:    cfg.Dominance && !cfg.Witness,
-		incumbent: math.MaxInt64, incumbentIdx: -1}
-	return s.run()
+	return newEngine(ctx, in, cfg, newTab).run()
+}
+
+// stateRef names a state across shards: the shard that owns it plus its
+// dense index in that shard's table. idx < 0 is the "none" sentinel.
+type stateRef struct {
+	shard int32
+	idx   int32
 }
 
 // parentEdge records how a state was first reached at its best cost, for
-// witness reconstruction.
+// witness reconstruction. The parent may live on a different shard.
 type parentEdge struct {
-	from int32
+	from stateRef
 	move pebble.Move
 }
 
+// solver is one shard's worker state: it owns a contiguous partition of
+// the hash-sharded state space — its own table arena, distance and
+// parent arrays, bucket queue and dominance index — and exchanges only
+// candidate batches (see parallel.go) with other shards. With one
+// worker there is exactly one solver holding the whole space.
 type solver struct {
 	in      *pebble.Instance
 	ctx     context.Context
@@ -182,11 +224,8 @@ type solver struct {
 	witness bool // == cfg.Witness, hoisted for the hot path
 	useDom  bool // dominance pruning active (cfg.Dominance && !witness)
 
-	// Anytime bookkeeping: the cheapest goal-state g-cost relaxed so far
-	// (MaxInt64 until a feasible pebbling is seen) and, in witness mode,
-	// its table index for incumbent-strategy reconstruction.
-	incumbent    int64
-	incumbentIdx int32
+	eng   *engine // shared search-wide state (incumbent, budget, routing)
+	shard int32   // this solver's shard id
 
 	predMask []uint64 // predecessor bitmask per node
 	sinkMask uint64
@@ -195,18 +234,33 @@ type solver struct {
 	topo     []dag.NodeID // precomputed topological order (shared with Graph)
 	chainDP  []int32      // longest-uncomputed-chain DP scratch
 
-	tab    hashtab.Index // state identity → dense index
+	tab    hashtab.Index // state identity → dense index (this shard only)
 	dist   []int64       // best g-cost per state index
 	parent []parentEdge  // per state index; witness mode only
 	bq     bucketQueue
 
-	// Dominance pruning state (useDom only): which state indices have
-	// been expanded, the (blue, computed) side index over them, and the
-	// number of candidates dropped (reported as Result.Pruned together
-	// with dead-state drops).
-	settled []bool
-	dom     *domIndex
-	pruned  int
+	// expandedMark marks state indices this shard has expanded — the
+	// within-layer dedupe (a state reappearing in a later wave of the
+	// same f-layer via an equal-cost path must not expand twice) and the
+	// settled-set definition for dominance pruning.
+	expandedMark []bool
+	dom          *domIndex
+	pruned       int
+	expanded     int // states expanded by this shard
+	pops         int // worklist entries examined, for ctx-poll throttling
+
+	// Wave bookkeeping: the current wave's drained bucket contents and
+	// the state indices expanded during it (settled into the dominance
+	// index at the wave boundary — see parallel.go for why).
+	worklist []bqEntry
+	waveExp  []int32
+
+	// Cross-shard routing state (Workers > 1 only): per-destination
+	// outgoing batch under construction, per-source received batches for
+	// the current wave, and the count of flush markers received.
+	out      []*batch
+	incoming [][]*batch
+	markers  int
 
 	curIdx int32 // index of the state being expanded
 
@@ -224,13 +278,10 @@ type solver struct {
 func (s *solver) blueWord(w []uint64) uint64     { return w[s.in.K] }
 func (s *solver) computedWord(w []uint64) uint64 { return w[s.in.K+1] }
 
-func (s *solver) run() (*Result, error) {
+// initScratch sizes the per-shard scratch buffers. Called once per
+// search, before any expansion.
+func (s *solver) initScratch() {
 	k := s.in.K
-	s.initDerived()
-	if s.useDom {
-		s.dom = newDomIndex()
-	}
-
 	w := stateWords(k)
 	s.cur = make([]uint64, w)
 	s.cand = make([]uint64, w)
@@ -242,121 +293,6 @@ func (s *solver) run() (*Result, error) {
 	s.computeOpts = make([][]int, k)
 	s.readOpts = make([][]int, k)
 	s.writeOpts = make([][]int, k)
-
-	// Seed: the empty configuration is state 0.
-	start := make([]uint64, w)
-	startIdx, _ := s.tab.Insert(start)
-	s.dist = append(s.dist, 0)
-	if s.witness {
-		s.parent = append(s.parent, parentEdge{from: -1})
-	}
-	if s.useDom {
-		s.settled = append(s.settled, false)
-	}
-	s.bq.push(s.h(start), int32(startIdx), 0)
-
-	expanded := 0
-	pops := 0
-	for !s.bq.empty() {
-		if pops&ctxCheckMask == 0 {
-			if s.ctx.Err() != nil {
-				return s.partial(StatusCanceled, expanded, -1), cancelErr(s.ctx, expanded)
-			}
-		}
-		pops++
-		e, _ := s.bq.pop()
-		if e.g > s.dist[e.idx] {
-			continue // stale queue entry
-		}
-		s.cur = append(s.cur[:0], s.tab.Key(int(e.idx))...)
-		if s.isGoal(s.cur) {
-			// Complete-run invariant: LowerBound == Cost == Incumbent.
-			// The first goal popped is provably optimal, so all three are
-			// e.g by construction — set explicitly rather than carrying
-			// the incumbent field, which a stronger heuristic can leave
-			// transiently above a frontier minimum mid-search.
-			res := &Result{Cost: e.g, States: expanded,
-				Status: StatusComplete, Incumbent: e.g, LowerBound: e.g,
-				Pruned: s.pruned, HeuristicMode: s.cfg.Heuristic}
-			if s.witness {
-				strat, err := s.reconstruct(e.idx)
-				if err != nil {
-					return nil, err
-				}
-				res.Strategy = strat
-			}
-			return res, nil
-		}
-		expanded++
-		if expanded > s.cfg.MaxStates {
-			// The popped state was goal-checked but not expanded; its
-			// f-value is still a valid frontier bound.
-			poppedF := e.g + s.h(s.cur)
-			return s.partial(StatusBudget, expanded, poppedF), budgetErr(expanded)
-		}
-		s.curIdx = e.idx
-		if s.useDom {
-			s.settle(e.idx)
-		}
-		s.expand(e.g)
-	}
-	return nil, fmt.Errorf("opt: no pebbling found (unreachable for valid instances)")
-}
-
-// partial assembles the anytime result of an early stop: the incumbent
-// (best feasible cost relaxed so far, -1 if none) and the admissible
-// frontier lower bound — the minimum f-value over the open queue plus,
-// when a popped state went unexpanded, that state's f. OPT is guaranteed
-// to lie in [LowerBound, Incumbent].
-func (s *solver) partial(st Status, expanded int, poppedF int64) *Result {
-	res := &Result{Cost: -1, States: expanded, Status: st, Incumbent: -1,
-		Pruned: s.pruned, HeuristicMode: s.cfg.Heuristic}
-	lb := int64(math.MaxInt64)
-	if f, ok := s.bq.minF(); ok {
-		lb = f
-	}
-	if poppedF >= 0 && poppedF < lb {
-		lb = poppedF
-	}
-	if s.incumbent < math.MaxInt64 {
-		res.Incumbent = s.incumbent
-		res.Cost = s.incumbent
-		if lb > s.incumbent {
-			lb = s.incumbent
-		}
-		if s.witness && s.incumbentIdx >= 0 {
-			if strat, err := s.reconstruct(s.incumbentIdx); err == nil {
-				res.Strategy = strat
-			}
-		}
-	}
-	if lb == math.MaxInt64 {
-		lb = 0 // empty frontier and no incumbent: nothing is known
-	}
-	res.LowerBound = lb
-	return res
-}
-
-// reconstruct walks parent pointers from the goal back to state 0 (the
-// initial configuration) and returns the move sequence.
-func (s *solver) reconstruct(goal int32) (*pebble.Strategy, error) {
-	var rev []pebble.Move
-	for idx := goal; idx != 0; {
-		e := s.parent[idx]
-		if e.from < 0 {
-			return nil, fmt.Errorf("opt: witness chain broken (internal error)")
-		}
-		rev = append(rev, e.move)
-		idx = e.from
-		if len(rev) > s.cfg.MaxStates {
-			return nil, fmt.Errorf("opt: witness chain too long (internal error)")
-		}
-	}
-	st := &pebble.Strategy{}
-	for i := len(rev) - 1; i >= 0; i-- {
-		st.Append(rev[i])
-	}
-	return st, nil
 }
 
 //mpp:hotpath
@@ -368,55 +304,99 @@ func (s *solver) isGoal(w []uint64) bool {
 	return s.sinkMask&^pebbled == 0
 }
 
-// relax offers the candidate state in s.cand at the given g-cost. The
-// move is materialized from (kind, choice) only in witness mode and only
-// when the candidate actually improves — the rejected path allocates
-// nothing (Insert on a present key is allocation-free).
+// offer routes the candidate state in s.cand at the given g-cost to its
+// owning shard: applied immediately when this shard owns it, batched
+// onto the owner's inbox otherwise. The move is materialized from
+// (kind, choice) only in witness mode — lazily (only when the candidate
+// improves) on the local path; eagerly when crossing shards, since the
+// scratch choice vector cannot travel.
 //
 //mpp:hotpath
-func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
+func (s *solver) offer(cost int64, kind pebble.OpKind, choice []int) {
 	if !s.witness {
 		// Shade symmetry collapse is only sound when no move sequence
 		// must be reconstructed (relabeling shades would desynchronize
-		// the recorded moves' processor indices).
+		// the recorded moves' processor indices). Ownership hashes only
+		// the (blue, computed) words, so canonicalizing first does not
+		// move the candidate across shards.
 		canonicalizeRed(s.cand[:s.in.K])
-		// A strictly dominated candidate is dropped before it is even
-		// hashed — a settled state already covers everything it could
-		// do, at lower cost. Goal candidates are never dominated (the
-		// dominating state would itself be a goal, and goals are popped,
-		// not settled), so the incumbent bookkeeping below is unharmed.
-		if s.useDom && s.dominated(cost) {
-			s.pruned++
+	}
+	if s.eng.nShards > 1 {
+		if dst := s.eng.ownerOf(s.cand); dst != int(s.shard) {
+			s.route(dst, cost, kind, choice)
 			return
 		}
 	}
-	idx, existed := s.tab.Insert(s.cand)
-	if existed {
-		if s.dist[idx] <= cost {
-			return
-		}
-		s.dist[idx] = cost
-	} else {
-		s.dist = append(s.dist, cost)
-		if s.witness {
-			s.parent = append(s.parent, parentEdge{from: -1})
-		}
-		if s.useDom {
-			s.settled = append(s.settled, false)
-		}
+	if s.useDom && s.dominated(s.cand, cost) {
+		s.pruned++
+		return
+	}
+	idx := s.insert(s.cand, cost)
+	if idx < 0 {
+		return
 	}
 	if s.witness {
-		s.parent[idx] = parentEdge{from: s.curIdx, move: moveOf(kind, choice)}
+		s.parent[idx] = parentEdge{from: stateRef{shard: s.shard, idx: s.curIdx}, move: moveOf(kind, choice)}
 	}
+	s.enqueue(s.cand, cost, idx)
+}
+
+// applyRemote applies one candidate received from another shard — the
+// deferred half of offer, run during the wave's apply phase. The words
+// slice aliases the batch buffer; Insert copies it.
+//
+//mpp:hotpath
+func (s *solver) applyRemote(w []uint64, cost int64, from stateRef, move pebble.Move) {
+	if s.useDom && s.dominated(w, cost) {
+		s.pruned++
+		return
+	}
+	idx := s.insert(w, cost)
+	if idx < 0 {
+		return
+	}
+	if s.witness {
+		s.parent[idx] = parentEdge{from: from, move: move}
+	}
+	s.enqueue(w, cost, idx)
+}
+
+// insert interns the candidate words and relaxes its distance, growing
+// the per-state arrays on first sight. Returns the state index, or -1
+// when the candidate does not improve the known distance (the rejected
+// path allocates nothing — Insert on a present key is allocation-free).
+//
+//mpp:hotpath
+func (s *solver) insert(w []uint64, cost int64) int32 {
+	idx, existed := s.tab.Insert(w)
+	if existed {
+		if s.dist[idx] <= cost {
+			return -1
+		}
+		s.dist[idx] = cost
+		return int32(idx)
+	}
+	s.dist = append(s.dist, cost)
+	s.expandedMark = append(s.expandedMark, false)
+	if s.witness {
+		s.parent = append(s.parent, parentEdge{from: stateRef{idx: -1}})
+	}
+	return int32(idx)
+}
+
+// enqueue finishes an improving relaxation: incumbent bookkeeping, the
+// dead-state drop, and the frontier push.
+//
+//mpp:hotpath
+func (s *solver) enqueue(w []uint64, cost int64, idx int32) {
 	// Anytime incumbent: any goal state relaxed at cost c witnesses a
 	// feasible pebbling of cost c, even though optimality is only proven
-	// when the goal is popped. Both the table and the oracle run this
-	// identically, so early-stop results stay byte-identical.
-	if cost < s.incumbent && s.isGoal(s.cand) {
-		s.incumbent = cost
-		s.incumbentIdx = int32(idx)
+	// at the layer barrier. The incumbent is a search-wide atomic min,
+	// so every worker count converges to the same value.
+	if cost < s.eng.incumbentNow() && s.isGoal(w) {
+		s.eng.offerIncumbent(cost, stateRef{shard: s.shard, idx: idx})
 	}
-	h := s.h(s.cand)
+	h := s.h(w)
 	if h < 0 {
 		// Dead state (one-shot): provably cannot reach the goal. It
 		// stays in the table (so re-derivations are cheap) but is never
@@ -424,7 +404,7 @@ func (s *solver) relax(cost int64, kind pebble.OpKind, choice []int) {
 		s.pruned++
 		return
 	}
-	s.bq.push(cost+h, int32(idx), cost)
+	s.bq.push(cost+h, idx, cost)
 }
 
 // expand generates every successor state of s.cur. Per-processor option
@@ -486,7 +466,7 @@ func (s *solver) expand(cost int64) {
 			copy(s.cand, s.cur)
 			s.cand[p] &^= 1 << uint(v)
 			s.delChoice[p] = v
-			s.relax(cost, pebble.OpDelete, s.delChoice)
+			s.offer(cost, pebble.OpDelete, s.delChoice)
 			s.delChoice[p] = -1
 		}
 	}
@@ -497,7 +477,7 @@ func (s *solver) expand(cost int64) {
 }
 
 // applyChoice builds the successor for s.choice under the given move kind
-// into s.cand and relaxes it if legal.
+// into s.cand and offers it if legal.
 //
 //mpp:hotpath
 func (s *solver) applyChoice(kind pebble.OpKind, newCost int64) {
@@ -538,7 +518,7 @@ func (s *solver) applyChoice(kind pebble.OpKind, newCost int64) {
 			s.cand[s.in.K] |= 1 << uint(v)
 		}
 	}
-	s.relax(newCost, kind, s.choice)
+	s.offer(newCost, kind, s.choice)
 }
 
 // moveOf converts a per-processor choice vector (-1 = idle) into a Move.

@@ -10,25 +10,31 @@ import (
 
 // Oracle variants of the exact solvers: the identical search code run
 // against the map-backed hashtab.Ref instead of the open-addressing
-// table. Because the traversal, tie-breaking (bucket-queue LIFO) and
-// pruning logic are shared and only the state-identity structure is
-// swapped, an oracle run must return byte-identical results — (Cost,
+// table. Because the traversal, tie-breaking (FIFO within each wave of
+// the bucket queue) and pruning logic are shared and only the
+// state-identity structure is swapped, an oracle run must return
+// byte-identical results — (Cost,
 // States) for Exact, (Feasible, States, Order) for ZeroIOBig. The
 // equivalence tests assert exactly that on the DAG zoo and the Theorem 2
 // reduction instances; the oracles are ordinary non-test code (no build
 // tag) so the comparison compiles everywhere.
 
 // ExactOracle is Exact backed by the map-based reference state table.
+// Like Exact, it pins Workers to 1 so the pair stays comparable on any
+// machine.
 func ExactOracle(in *pebble.Instance, maxStates int) (*Result, error) {
-	return ExactOracleWith(in, DefaultConfig(maxStates))
+	cfg := DefaultConfig(maxStates)
+	cfg.Workers = 1
+	return ExactOracleWith(in, cfg)
 }
 
 // ExactOracleWith is ExactWith backed by the map-based reference state
 // table, so every Config combination — heuristic mode, dominance,
-// witness — can be locked byte-for-byte against the arena-backed run.
+// witness, worker count (each shard gets its own Ref) — can be locked
+// byte-for-byte against the arena-backed run.
 func ExactOracleWith(in *pebble.Instance, cfg Config) (*Result, error) {
 	//lint:ignore ctxthread oracle runs are equivalence-test support and never deadline-bound
-	return exact(context.Background(), in, cfg, hashtab.NewRef(stateWords(in.K)))
+	return exact(context.Background(), in, cfg, func() hashtab.Index { return hashtab.NewRef(stateWords(in.K)) })
 }
 
 // ExactWithStrategyOracle is ExactWithStrategy backed by the map-based
@@ -36,6 +42,7 @@ func ExactOracleWith(in *pebble.Instance, cfg Config) (*Result, error) {
 func ExactWithStrategyOracle(in *pebble.Instance, maxStates int) (*Result, error) {
 	cfg := DefaultConfig(maxStates)
 	cfg.Witness = true
+	cfg.Workers = 1
 	return ExactOracleWith(in, cfg)
 }
 

@@ -37,7 +37,8 @@ type bqEntry struct {
 // the heuristic stack qualifies) pops f in non-decreasing order, so a
 // single forward-moving cursor over an array of buckets replaces the
 // binary heap: push is an append, pop is a slice shrink, and nothing is
-// boxed through an interface. Ties within a bucket pop LIFO, which is
+// boxed through an interface. The wave-synchronous driver consumes ties
+// within a bucket in push (FIFO) order via takeBucket, which is
 // deterministic — the oracle solvers share this queue so expansion order
 // (hence States counts) matches exactly.
 type bucketQueue struct {
@@ -73,27 +74,42 @@ func (q *bucketQueue) push(f int64, idx int32, g int64) {
 	q.size++
 }
 
+// takeBucket removes every entry currently in bucket f and appends them
+// to into[:0], returning the slice. The wave-synchronous driver drains a
+// whole f-layer bucket at once: copying into a caller-owned worklist is
+// what lets same-f candidates generated mid-wave land in the (now empty)
+// bucket again and form the next wave instead of extending this one.
+// Entries come back in push (FIFO) order. Buckets below the queue cursor
+// are already empty, so f outside the allocated range returns into[:0].
+//
 //mpp:hotpath
-func (q *bucketQueue) pop() (bqEntry, bool) {
-	if q.size == 0 {
-		return bqEntry{}, false
+func (q *bucketQueue) takeBucket(f int64, into []bqEntry) []bqEntry {
+	into = into[:0]
+	fi := int(f)
+	if fi >= len(q.buckets) {
+		return into
 	}
-	for len(q.buckets[q.cur]) == 0 {
-		q.cur++
+	b := q.buckets[fi]
+	if len(b) == 0 {
+		return into
 	}
-	b := q.buckets[q.cur]
-	e := b[len(b)-1]
-	q.buckets[q.cur] = b[:len(b)-1]
-	q.size--
-	return e, true
+	into = append(into, b...)
+	q.buckets[fi] = b[:0]
+	q.size -= len(into)
+	return into
 }
 
-func (q *bucketQueue) empty() bool { return q.size == 0 }
+// hasBucket reports whether bucket f currently holds any entry (live or
+// stale) — the wave driver's "does this layer need another wave" test.
+func (q *bucketQueue) hasBucket(f int64) bool {
+	fi := int(f)
+	return fi < len(q.buckets) && len(q.buckets[fi]) > 0
+}
 
 // minF returns the smallest f-value currently queued (false when empty).
 // With the consistent heuristic this is an admissible lower bound on any
 // solution still undiscovered — the anytime bound reported by an early
-// stop. Advancing cur past empty buckets is safe: pop does the same.
+// stop. Advancing cur past drained buckets is safe: f only grows.
 //
 //mpp:hotpath
 func (q *bucketQueue) minF() (int64, bool) {

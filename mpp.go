@@ -71,9 +71,11 @@ type (
 	// SearchStatus says whether a search completed or which budget
 	// stopped it.
 	SearchStatus = opt.Status
-	// SearchConfig selects the exact solver's heuristic mode and pruning
-	// switches; the zero value is the bare compute floor with pruning off,
-	// opt.DefaultConfig the full stack.
+	// SearchConfig selects the exact solver's heuristic mode, pruning
+	// switches and shard-worker count (Workers: 0 = GOMAXPROCS; results
+	// are byte-identical at every worker count); the zero value is the
+	// bare compute floor with pruning off, opt.DefaultConfig the full
+	// stack.
 	SearchConfig = opt.Config
 	// HeuristicMode picks the admissible cost-to-go bound (floor | io |
 	// max) the exact search runs under.

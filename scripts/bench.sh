@@ -8,6 +8,7 @@
 #   scripts/bench.sh my.json           # custom output path
 #   QUICK=1 scripts/bench.sh           # shorter sampling windows
 #   BENCHTIME=5x scripts/bench.sh      # longer go-test benches
+#   WORKERS=1,2,4,8 scripts/bench.sh   # sharded-solver sweep widths
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,4 +23,7 @@ go test -run 'xxx' -bench . -benchmem -benchtime "${BENCHTIME:-1x}" .
 prev=$(ls BENCH_*.json 2>/dev/null | grep -vF "$out" | sort | tail -1 || true)
 
 echo "== mppbench -> $out =="
-go run ./cmd/mppbench ${QUICK:+-quick} -out "$out" ${prev:+-diff "$prev"}
+# WORKERS sets the sharded-solver sweep (-wN rows with a speedup column
+# vs the -w1 baseline); states expanded stay byte-identical across the
+# sweep, so -diff gates the -wN rows like any other solver benchmark.
+go run ./cmd/mppbench ${QUICK:+-quick} -workers "${WORKERS:-1,2,4}" -out "$out" ${prev:+-diff "$prev"}

@@ -31,11 +31,14 @@ go build ./...
 echo "== go test =="
 go test ${SHORT:+-short} ./...
 
-echo "== go test -race (quick) =="
-# The anytime/cancellation paths run schedulers and solvers on multiple
-# goroutines (portfolio bestOf, mppexp -j); race-check the packages that
-# share state across them. -short keeps this a smoke, not a second CI.
-go test -race -short ./internal/opt/ ./internal/sched/ ./internal/exp/
+echo "== go test -race =="
+# The sharded exact solver (opt.Config.Workers > 1) routes states across
+# shard goroutines over channels with an atomic incumbent/budget — so
+# internal/opt runs its FULL race suite (the determinism sweep over
+# Workers ∈ {1,2,4,7} included; ~2 min under -race). sched and exp only
+# fan out coarse-grained portfolio/experiment goroutines and stay -short.
+go test -race ./internal/opt/
+go test -race -short ./internal/sched/ ./internal/exp/
 
 echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
