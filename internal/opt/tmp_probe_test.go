@@ -1,0 +1,36 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pebble"
+)
+
+// Probe: sweep budgets densely; compare Workers=1 vs Workers=4 Incumbent/States/LowerBound.
+func TestProbeBudgetSweepDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range zooCases() {
+		in := pebble.MustInstance(c.g, c.p)
+		full, err := Exact(in, budget)
+		if err != nil {
+			t.Fatalf("%s full: %v", c.name, err)
+		}
+		for max := 1; max < full.States; max += 3 {
+			cfg1 := DefaultConfig(max)
+			cfg1.Workers = 1
+			w1, _ := ExactWith(ctx, in, cfg1)
+			for rep := 0; rep < 3; rep++ {
+				cfg4 := DefaultConfig(max)
+				cfg4.Workers = 4
+				w4, _ := ExactWith(ctx, in, cfg4)
+				if w4.Incumbent != w1.Incumbent || w4.States != w1.States || w4.LowerBound != w1.LowerBound || w4.Status != w1.Status {
+					t.Errorf("%s budget=%d rep=%d: w4 (inc %d states %d lb %d st %v) != w1 (inc %d states %d lb %d st %v)",
+						c.name, max, rep, w4.Incumbent, w4.States, w4.LowerBound, w4.Status,
+						w1.Incumbent, w1.States, w1.LowerBound, w1.Status)
+					break
+				}
+			}
+		}
+	}
+}
