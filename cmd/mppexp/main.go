@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	mppexp [-quick] [-markdown] [-list] [-timeout d] [-max-states n] [ids...]
+//	mppexp [-quick] [-markdown] [-list] [-timeout d] [-max-states n] [-async] [ids...]
 //
 // With no ids, every experiment runs. -markdown emits the format used in
 // EXPERIMENTS.md. -timeout and -max-states bound each experiment; runs
 // that hit a bound report partial results (with the solver's incumbent
-// and bound gap where available) instead of failing.
+// and bound gap where available) instead of failing. -async switches
+// every exact solve to the asynchronous engine (opt.ModeAsync): the
+// proven optima are identical, but states-explored counts become
+// timing-dependent, so recorded tables may differ cosmetically between
+// runs.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 	jobs := flag.Int("j", 1, "run experiments concurrently on up to this many workers (output stays in ID order)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock deadline (0 = none); expired experiments report partial results")
 	maxStates := flag.Int("max-states", 0, "cap each exact-solver call's explored states (0 = experiment defaults)")
+	async := flag.Bool("async", false, "run exact solves in asynchronous fast mode (same optima, nondeterministic statistics)")
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -62,7 +67,7 @@ func main() {
 		}
 	}
 
-	cfg := exp.Config{Quick: *quick, Timeout: *timeout, MaxStates: *maxStates}
+	cfg := exp.Config{Quick: *quick, Timeout: *timeout, MaxStates: *maxStates, Async: *async}
 	workers := *jobs
 	if workers < 1 {
 		workers = 1

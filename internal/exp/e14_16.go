@@ -38,7 +38,7 @@ func E14HardClasses(ctx context.Context, cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E14: generator produced non-2-layer DAG")
 		}
 		in := pebble.MustInstance(g, pebble.MPP(2, g.MaxInDegree()+1, 3))
-		res, ok, err := exactInCfg(ctx, t, in, e14Cfg(cfg))
+		res, ok, err := exactInCfg(ctx, cfg, t, in, e14Cfg(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +66,7 @@ func E14HardClasses(ctx context.Context, cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E14: %s is not an in-tree", name)
 		}
 		in := pebble.MustInstance(g, pebble.MPP(2, 3, 3))
-		res, ok, err := exactInCfg(ctx, t, in, e14Cfg(cfg))
+		res, ok, err := exactInCfg(ctx, cfg, t, in, e14Cfg(cfg))
 		if err != nil {
 			return nil, err
 		}

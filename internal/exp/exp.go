@@ -34,6 +34,21 @@ type Config struct {
 	// MaxStates caps each exact-solver call's explored states, overriding
 	// the experiment's built-in budget (0 = keep the built-in budget).
 	MaxStates int
+	// Async switches every exact-solver call to opt.ModeAsync: same
+	// proven optima, faster multicore wall-clock, but States/Pruned and
+	// witness traces stop being run-to-run deterministic (see DESIGN.md
+	// §6). mppexp -async sets it.
+	Async bool
+}
+
+// solver applies the config's solver-wide toggles (currently just the
+// async engine mode) on top of an experiment's own opt.Config. Every
+// exact call in the suite funnels through exactInCfg, which applies it.
+func (cfg Config) solver(ocfg opt.Config) opt.Config {
+	if cfg.Async {
+		ocfg.Mode = opt.ModeAsync
+	}
+	return ocfg
 }
 
 // states resolves a solver call's state budget: the config override when
@@ -375,17 +390,18 @@ func ctxDone(ctx context.Context, t *Table, stage string) bool {
 // returns ok=false with the anytime result — callers skip the row or
 // report the incumbent; any other error propagates.
 func exactIn(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, defStates int) (*opt.Result, bool, error) {
-	return exactInCfg(ctx, t, in, opt.DefaultConfig(cfg.states(defStates)))
+	return exactInCfg(ctx, cfg, t, in, opt.DefaultConfig(cfg.states(defStates)))
 }
 
 // exactInCfg is exactIn under an explicit solver Config — experiments
 // that must pin a heuristic mode (e.g. E14's raw-state-space measurement
-// runs the bare compute floor) pass their own. Partial results get their
+// runs the bare compute floor) pass their own; cfg.solver layers the
+// suite-wide toggles (async mode) on top. Partial results get their
 // lower bound raised to the max-heuristic root bound first, so gap
 // brackets printed from weaker-mode or early-stopped runs don't start
 // from a needlessly loose floor.
-func exactInCfg(ctx context.Context, t *Table, in *pebble.Instance, ocfg opt.Config) (*opt.Result, bool, error) {
-	res, err := opt.ExactWith(ctx, in, ocfg)
+func exactInCfg(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, ocfg opt.Config) (*opt.Result, bool, error) {
+	res, err := opt.ExactWith(ctx, in, cfg.solver(ocfg))
 	if err != nil {
 		if opt.IsPartial(err) {
 			raiseLowerBound(res, in)

@@ -1,0 +1,142 @@
+package opt
+
+// Solver arena recycling and the multi-instance batch API.
+//
+// A search's dominant allocations are per-shard arenas: the state table,
+// the distance/mark/parent arrays, the bucket queue's buckets, the
+// dominance index and the expansion scratch. All of them reset in O(1)
+// or O(capacity-touched) without releasing memory, so solvers are
+// recycled through a package-level sync.Pool: every Exact entry point
+// (and therefore cmd/mppexp -j, the exp helpers and the cmd/mppbench
+// sweeps) reuses arenas from earlier searches automatically, and
+// SolveBatch makes the pattern explicit for callers solving many
+// instances back to back.
+//
+// Oracle runs (a caller-supplied table constructor, see exact.go) stay
+// outside the pool: a map-backed hashtab.Ref is a test double, not a
+// reusable arena, and pooling it would let one leak into a production
+// search.
+//
+// bind is the single preparation path for fresh and recycled solvers
+// alike — every field is either overwritten outright or explicitly
+// reset, so a recycled solver is indistinguishable from a fresh one
+// (batch_test.go locks this with byte-identical pooled-vs-fresh runs).
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/hashtab"
+	"repro/internal/pebble"
+)
+
+// solverPool recycles per-shard solver arenas across searches.
+var solverPool sync.Pool
+
+// acquireSolver returns a recycled solver when pooling is on, a fresh
+// one otherwise.
+func acquireSolver(pooled bool) *solver {
+	if pooled {
+		if v := solverPool.Get(); v != nil {
+			return v.(*solver)
+		}
+	}
+	return &solver{}
+}
+
+// bind prepares this solver (fresh or recycled) as shard `shard` of
+// engine e: instance-derived lookups, scratch buffers, and every arena
+// reset to empty while keeping its capacity. The state table is reused
+// only when it is the open-addressing kind with the right key width;
+// otherwise the constructor runs.
+func (s *solver) bind(e *engine, shard int32, newTab func() hashtab.Index, pooled bool) {
+	in, cfg := e.in, e.cfg
+	s.in, s.ctx, s.cfg = in, e.ctx, cfg
+	s.n = in.Graph.N()
+	s.witness = cfg.Witness
+	s.useDom = cfg.Dominance && !cfg.Witness
+	s.async = cfg.Mode == ModeAsync
+	s.eng, s.shard = e, shard
+	s.pruned, s.expanded, s.reopened, s.pops = 0, 0, 0, 0
+	s.markers = 0
+	s.curIdx = 0
+	s.initDerived()
+	s.initScratch()
+
+	if t, ok := s.tab.(*hashtab.Table); pooled && ok && t.WordsPerKey() == stateWords(in.K) {
+		t.Reset()
+	} else {
+		s.tab = newTab()
+	}
+	s.dist = s.dist[:0]
+	s.expandedMark = s.expandedMark[:0]
+	s.settledMark = s.settledMark[:0]
+	s.parent = s.parent[:0]
+	s.bq.reset()
+	s.worklist = s.worklist[:0]
+	s.waveExp = s.waveExp[:0]
+	if s.useDom {
+		if s.dom == nil {
+			s.dom = newDomIndex()
+		} else {
+			s.dom.reset()
+		}
+	}
+	if e.nShards > 1 {
+		if len(s.out) == e.nShards {
+			for i := range s.out {
+				s.out[i] = nil
+				s.incoming[i] = s.incoming[i][:0]
+			}
+		} else {
+			s.out = make([]*batch, e.nShards)
+			s.incoming = make([][]*batch, e.nShards)
+		}
+	} else {
+		s.out, s.incoming = nil, nil
+	}
+}
+
+// release returns the engine's solvers to the pool (no-op for oracle
+// engines). Only called after run() fully assembled its Result, so no
+// live memory escapes into the pool. References that would pin the
+// instance or context alive are dropped; the arenas keep their capacity
+// — that is the point.
+func (e *engine) release() {
+	if !e.pooled {
+		return
+	}
+	for i, s := range e.shards {
+		e.shards[i] = nil
+		s.in, s.ctx = nil, nil
+		s.eng = nil
+		s.topo = nil
+		solverPool.Put(s)
+	}
+}
+
+// BatchResult pairs one instance's Result with the error of its solve,
+// in input order. Consult Err (or Result.Status) before using Cost:
+// a partial entry carries the anytime bracket, not a proven optimum.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// SolveBatch solves many instances under one Config, reusing the same
+// pooled solver arenas (state tables, bucket queues, dominance indexes,
+// scratch) from one instance to the next instead of reallocating them.
+// Results come back in input order, one per instance, each with the
+// error its solve produced — a partial stop on one instance does not
+// abort the others.
+//
+// Cancellation: when ctx is canceled mid-batch, the remaining instances
+// return immediately with canceled partial results; the batch still
+// yields len(ins) entries.
+func SolveBatch(ctx context.Context, ins []*pebble.Instance, cfg Config) []BatchResult {
+	out := make([]BatchResult, len(ins))
+	for i, in := range ins {
+		out[i].Result, out[i].Err = ExactWith(ctx, in, cfg)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package opt
+
+// Tests of SolveBatch and the solver arena pool behind it. The pool's
+// correctness bar is byte-identity: a pool-recycled solver must be
+// indistinguishable from a fresh one, which the map-backed oracle (never
+// pooled, see batch.go) provides the clean baseline for.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/pebble"
+)
+
+// TestSolveBatchMatchesOracleZoo runs the whole zoo (mixed k, so the
+// packed key width changes between consecutive instances — the table-
+// reuse guard's hard case) through SolveBatch three times over, at one
+// and at four workers, and requires every Result to be byte-identical to
+// the unpooled oracle run. The repetition is the point: from the second
+// batch on, every solver is a recycled one.
+func TestSolveBatchMatchesOracleZoo(t *testing.T) {
+	ctx := context.Background()
+	var ins []*pebble.Instance
+	var names []string
+	for _, c := range zooCases() {
+		ins = append(ins, pebble.MustInstance(c.g, c.p))
+		names = append(names, c.name)
+	}
+	for _, w := range []int{1, 4} {
+		cfg := DefaultConfig(budget)
+		cfg.Workers = w
+		for round := 0; round < 3; round++ {
+			got := SolveBatch(ctx, ins, cfg)
+			if len(got) != len(ins) {
+				t.Fatalf("workers=%d round=%d: %d results for %d instances", w, round, len(got), len(ins))
+			}
+			for i, br := range got {
+				if br.Err != nil {
+					t.Fatalf("%s: workers=%d round=%d: %v", names[i], w, round, br.Err)
+				}
+				want, err := ExactOracleWith(ins[i], cfg)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", names[i], err)
+				}
+				g := br.Result
+				if g.Cost != want.Cost || g.States != want.States || g.Pruned != want.Pruned ||
+					g.Incumbent != want.Incumbent || g.LowerBound != want.LowerBound ||
+					g.Status != want.Status || g.ReExpanded != want.ReExpanded {
+					t.Errorf("%s: workers=%d round=%d: pooled (cost %d states %d pruned %d) ≠ oracle (cost %d states %d pruned %d)",
+						names[i], w, round, g.Cost, g.States, g.Pruned, want.Cost, want.States, want.Pruned)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchWitnessReuse recycles witness-mode solvers (the parent
+// arrays join the arena reuse) and checks each reconstructed strategy
+// still replays to its own instance's optimum.
+func TestSolveBatchWitnessReuse(t *testing.T) {
+	ctx := context.Background()
+	var ins []*pebble.Instance
+	for _, c := range zooCases() {
+		ins = append(ins, pebble.MustInstance(c.g, c.p))
+	}
+	cfg := DefaultConfig(budget)
+	cfg.Witness = true
+	cfg.Workers = 1
+	for round := 0; round < 2; round++ {
+		for i, br := range SolveBatch(ctx, ins, cfg) {
+			if br.Err != nil {
+				t.Fatalf("round=%d instance=%d: %v", round, i, br.Err)
+			}
+			if br.Result.Strategy == nil {
+				t.Fatalf("round=%d instance=%d: no strategy", round, i)
+			}
+			rep, err := pebble.Replay(ins[i], br.Result.Strategy)
+			if err != nil {
+				t.Fatalf("round=%d instance=%d: replay: %v", round, i, err)
+			}
+			if rep.Cost != br.Result.Cost {
+				t.Errorf("round=%d instance=%d: strategy replays to %d, result says %d",
+					round, i, rep.Cost, br.Result.Cost)
+			}
+		}
+	}
+}
+
+// TestSolveBatchAsync runs the batch in async mode: every entry must
+// land on the deterministic optimum.
+func TestSolveBatchAsync(t *testing.T) {
+	ctx := context.Background()
+	var ins []*pebble.Instance
+	var want []int64
+	for _, c := range zooCases() {
+		in := pebble.MustInstance(c.g, c.p)
+		res, err := Exact(in, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		ins = append(ins, in)
+		want = append(want, res.Cost)
+	}
+	cfg := DefaultConfig(budget)
+	cfg.Workers = 4
+	cfg.Mode = ModeAsync
+	for i, br := range SolveBatch(ctx, ins, cfg) {
+		if br.Err != nil {
+			t.Fatalf("instance %d: %v", i, br.Err)
+		}
+		if br.Result.Cost != want[i] {
+			t.Errorf("instance %d: async batch cost %d, want %d", i, br.Result.Cost, want[i])
+		}
+	}
+}
+
+// TestSolveBatchCanceled: a canceled context must not shrink the batch —
+// every instance reports its own canceled partial result.
+func TestSolveBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ins []*pebble.Instance
+	for _, c := range zooCases()[:3] {
+		ins = append(ins, pebble.MustInstance(c.g, c.p))
+	}
+	got := SolveBatch(ctx, ins, DefaultConfig(budget))
+	if len(got) != len(ins) {
+		t.Fatalf("%d results for %d instances", len(got), len(ins))
+	}
+	for i, br := range got {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Errorf("instance %d: want context.Canceled, got %v", i, br.Err)
+		}
+		if br.Result == nil || br.Result.Status != StatusCanceled {
+			t.Errorf("instance %d: missing canceled partial result", i)
+		}
+	}
+}
+
+// TestSolveBatchEmpty: no instances, no results, no panic.
+func TestSolveBatchEmpty(t *testing.T) {
+	if got := SolveBatch(context.Background(), nil, DefaultConfig(budget)); len(got) != 0 {
+		t.Fatalf("want empty result set, got %d entries", len(got))
+	}
+}

@@ -58,6 +58,18 @@ func newDomIndex() *domIndex {
 	return d
 }
 
+// reset empties the index while keeping the slot array and entry
+// capacity, so a pooled solver's dominance index is reusable across
+// searches without reallocating.
+func (d *domIndex) reset() {
+	for i := range d.slots {
+		d.slots[i] = domEmptySlot
+	}
+	d.used = 0
+	d.next = d.next[:0]
+	d.state = d.state[:0]
+}
+
 // domHash mixes the two identity words (splitmix64-style finalizer).
 //
 //mpp:hotpath

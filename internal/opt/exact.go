@@ -20,6 +20,14 @@
 // parallel.go): with Config.Workers > 1 the state space is hash-sharded
 // across workers HDA*-style, and the layer barriers make the results
 // byte-identical to the single-worker run regardless of worker count.
+// Config.Mode = ModeAsync swaps the layer barriers for speculative
+// asynchronous HDA* (see async.go): the optimum stays exact, but
+// expansion counts and traces become timing-dependent.
+//
+// Solver arenas (table, queue, dominance index, scratch) are recycled
+// through a package-level pool across searches (see batch.go); callers
+// solving many instances back to back can use SolveBatch, but every
+// entry point benefits automatically.
 package opt
 
 import (
@@ -43,8 +51,15 @@ type Result struct {
 	// Cost is the proven optimum when Status is StatusComplete; on a
 	// partial result it equals Incumbent (-1 if no feasible pebbling was
 	// seen before the stop).
-	Cost   int64
-	States int // states expanded (summed across shards)
+	Cost int64
+	// States counts charged expansions summed across shards: states
+	// popped live from a frontier and expanded (each charged once against
+	// Config.MaxStates). The meaning is identical in every engine —
+	// inline, deterministic-sharded and async; in ModeDeterministic the
+	// count is additionally invariant across worker counts, while in
+	// ModeAsync it is timing-dependent (a state re-expanded after a
+	// better-g reopening is charged again — see ReExpanded).
+	States int
 
 	// Status reports whether the search completed or why it stopped.
 	Status Status
@@ -66,14 +81,21 @@ type Result struct {
 	// result it replays to the incumbent cost, not the optimum.
 	Strategy *pebble.Strategy
 
-	// Pruned counts candidates discarded before hashing: states strictly
-	// dominated by a settled state plus (one-shot mode) states the
-	// heuristic proved dead. Zero when dominance is off and the instance
-	// is not one-shot. Deterministic for a fixed worker count; in
-	// one-shot mode the dead-state share can differ across worker counts
-	// (see parallel.go), so only the other Result fields are part of the
-	// cross-worker determinism contract there.
+	// Pruned counts candidates the search discarded instead of queuing:
+	// states strictly dominated by a settled state (one count per
+	// dominance rejection) plus, in one-shot mode, distinct states the
+	// heuristic proved dead (counted once per dead state, on first
+	// insertion — dead-ness is a pure function of the state, so this
+	// share is order-independent). Zero when dominance is off and the
+	// instance is not one-shot. The meaning is identical in every engine;
+	// in ModeDeterministic the value is invariant across worker counts,
+	// in ModeAsync it is timing-dependent like States.
 	Pruned int
+	// ReExpanded counts ModeAsync re-expansions: a speculatively expanded
+	// state reopened by a later, cheaper path and expanded again (each
+	// such expansion is also in States). Always 0 in ModeDeterministic —
+	// the layer barriers make premature expansion impossible.
+	ReExpanded int
 	// HeuristicMode records which heuristic stack guided the search.
 	HeuristicMode HeuristicMode
 }
@@ -84,7 +106,13 @@ type Result struct {
 type Config struct {
 	// MaxStates bounds the number of distinct states expanded (summed
 	// across workers); exceeding it stops the search with a partial
-	// Result and ErrBudget. Non-positive means unbounded.
+	// Result and ErrBudget. Non-positive means unbounded. Deterministic
+	// engines check the budget at wave boundaries and let the stopping
+	// wave finish — States may overshoot MaxStates by that wave's tail,
+	// which is what keeps every partial-Result field a pure function of
+	// the search graph (a mid-wave cut would expand a scheduling-
+	// dependent subset). ModeAsync promises no such invariance and
+	// enforces the cap exactly, per expansion.
 	MaxStates int
 	// Heuristic selects the admissible bound stack (zero value:
 	// HeuristicMax, the strongest).
@@ -96,11 +124,17 @@ type Config struct {
 	// Witness requests reconstruction of one optimal move sequence.
 	Witness bool
 	// Workers is the number of search workers the state space is
-	// hash-sharded across. 0 means GOMAXPROCS; 1 runs the same wave
-	// engine inline with no goroutines or channels. Results are
-	// byte-identical for every worker count (States included; Pruned
-	// excepted in one-shot mode — see Result.Pruned).
+	// hash-sharded across. 0 means GOMAXPROCS; 1 runs the engine inline
+	// with no goroutines or channels. In ModeDeterministic results are
+	// byte-identical for every worker count (States and Pruned included).
 	Workers int
+	// Mode selects the parallel engine's coordination discipline:
+	// ModeDeterministic (the zero value) runs wave-synchronous layers
+	// with worker-count-invariant results; ModeAsync drops the barriers
+	// for raw throughput — the returned Cost/Status stay exact, but
+	// States/Pruned/ReExpanded and the witness trace become
+	// timing-dependent. See async.go.
+	Mode Mode
 }
 
 // DefaultConfig is the configuration the plain Exact entry points run:
@@ -179,6 +213,10 @@ func ExactWithStrategyCtx(ctx context.Context, in *pebble.Instance, maxStates in
 // constructor (tests pass the map-backed hashtab.Ref oracle); nil
 // selects the open-addressing table. A constructor rather than an
 // instance: the sharded engine needs one single-owner table per worker.
+//
+// Runs with the default table recycle their solver arenas through the
+// package pool (see batch.go); oracle runs stay pool-free so a Ref never
+// masquerades as a reusable Table.
 func exact(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() hashtab.Index) (*Result, error) {
 	n := in.Graph.N()
 	if n == 0 {
@@ -191,10 +229,14 @@ func exact(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() h
 	if n > 62 {
 		return nil, fmt.Errorf("opt: Exact supports at most 62 nodes, got %d", n)
 	}
-	if newTab == nil {
+	pooled := newTab == nil
+	if pooled {
 		newTab = func() hashtab.Index { return hashtab.New(stateWords(in.K), 1024) }
 	}
-	return newEngine(ctx, in, cfg, newTab).run()
+	eng := newEngine(ctx, in, cfg, newTab, pooled)
+	res, err := eng.run()
+	eng.release()
+	return res, err
 }
 
 // stateRef names a state across shards: the shard that owns it plus its
@@ -223,6 +265,7 @@ type solver struct {
 	cfg     Config
 	witness bool // == cfg.Witness, hoisted for the hot path
 	useDom  bool // dominance pruning active (cfg.Dominance && !witness)
+	async   bool // == (cfg.Mode == ModeAsync), hoisted for the hot path
 
 	eng   *engine // shared search-wide state (incumbent, budget, routing)
 	shard int32   // this solver's shard id
@@ -242,12 +285,18 @@ type solver struct {
 	// expandedMark marks state indices this shard has expanded — the
 	// within-layer dedupe (a state reappearing in a later wave of the
 	// same f-layer via an equal-cost path must not expand twice) and the
-	// settled-set definition for dominance pruning.
+	// settled-set definition for dominance pruning. In async mode the
+	// mark is cleared again when a cheaper path reopens the state.
 	expandedMark []bool
-	dom          *domIndex
-	pruned       int
-	expanded     int // states expanded by this shard
-	pops         int // worklist entries examined, for ctx-poll throttling
+	// settledMark (async + dominance only) remembers states already
+	// registered in the dominance index, so a reopened state is not
+	// added twice on re-expansion.
+	settledMark []bool
+	dom         *domIndex
+	pruned      int
+	expanded    int // states expanded by this shard
+	reopened    int // async: expanded states reopened by a better g
+	pops        int // worklist entries examined, for ctx-poll throttling
 
 	// Wave bookkeeping: the current wave's drained bucket contents and
 	// the state indices expanded during it (settled into the dominance
@@ -278,21 +327,49 @@ type solver struct {
 func (s *solver) blueWord(w []uint64) uint64     { return w[s.in.K] }
 func (s *solver) computedWord(w []uint64) uint64 { return w[s.in.K+1] }
 
-// initScratch sizes the per-shard scratch buffers. Called once per
-// search, before any expansion.
+// initScratch sizes the per-shard scratch buffers, reusing capacity left
+// by a previous search when the solver comes from the arena pool (see
+// batch.go). Called once per search, before any expansion. Stale scratch
+// content is harmless: every buffer is fully (re)written before it is
+// read — cur/cand by copy/append, choice by productRec, delChoice below,
+// and the option lists are always truncated to [:0] first.
 func (s *solver) initScratch() {
 	k := s.in.K
 	w := stateWords(k)
-	s.cur = make([]uint64, w)
-	s.cand = make([]uint64, w)
-	s.choice = make([]int, k)
-	s.delChoice = make([]int, k)
+	s.cur = resizeU64(s.cur, w)
+	s.cand = resizeU64(s.cand, w)
+	s.choice = resizeInts(s.choice, k)
+	s.delChoice = resizeInts(s.delChoice, k)
 	for p := range s.delChoice {
 		s.delChoice[p] = -1
 	}
-	s.computeOpts = make([][]int, k)
-	s.readOpts = make([][]int, k)
-	s.writeOpts = make([][]int, k)
+	s.computeOpts = resizeOptLists(s.computeOpts, k)
+	s.readOpts = resizeOptLists(s.readOpts, k)
+	s.writeOpts = resizeOptLists(s.writeOpts, k)
+}
+
+// resizeU64 returns a slice of length n, reusing b's capacity if enough.
+func resizeU64(b []uint64, n int) []uint64 {
+	if cap(b) < n {
+		return make([]uint64, n)
+	}
+	return b[:n]
+}
+
+func resizeInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+// resizeOptLists keeps the inner option slices (and their capacities)
+// alive across searches; entries are always reset to [:0] before use.
+func resizeOptLists(b [][]int, n int) [][]int {
+	if cap(b) < n {
+		return make([][]int, n)
+	}
+	return b[:n]
 }
 
 //mpp:hotpath
@@ -331,14 +408,14 @@ func (s *solver) offer(cost int64, kind pebble.OpKind, choice []int) {
 		s.pruned++
 		return
 	}
-	idx := s.insert(s.cand, cost)
+	idx, fresh := s.insert(s.cand, cost)
 	if idx < 0 {
 		return
 	}
 	if s.witness {
 		s.parent[idx] = parentEdge{from: stateRef{shard: s.shard, idx: s.curIdx}, move: moveOf(kind, choice)}
 	}
-	s.enqueue(s.cand, cost, idx)
+	s.enqueue(s.cand, cost, idx, fresh)
 }
 
 // applyRemote applies one candidate received from another shard — the
@@ -351,44 +428,58 @@ func (s *solver) applyRemote(w []uint64, cost int64, from stateRef, move pebble.
 		s.pruned++
 		return
 	}
-	idx := s.insert(w, cost)
+	idx, fresh := s.insert(w, cost)
 	if idx < 0 {
 		return
 	}
 	if s.witness {
 		s.parent[idx] = parentEdge{from: from, move: move}
 	}
-	s.enqueue(w, cost, idx)
+	s.enqueue(w, cost, idx, fresh)
 }
 
 // insert interns the candidate words and relaxes its distance, growing
-// the per-state arrays on first sight. Returns the state index, or -1
-// when the candidate does not improve the known distance (the rejected
-// path allocates nothing — Insert on a present key is allocation-free).
+// the per-state arrays on first sight. Returns the state index and
+// whether the state was fresh (first time seen), or idx -1 when the
+// candidate does not improve the known distance (the rejected path
+// allocates nothing — Insert on a present key is allocation-free).
+//
+// In async mode an improving relaxation of an already-expanded state
+// reopens it (the re-expansion rule, see async.go): the expanded mark is
+// cleared so the state expands again with the better g. Impossible in
+// deterministic mode, where layer barriers guarantee a state expands
+// only at its final distance.
 //
 //mpp:hotpath
-func (s *solver) insert(w []uint64, cost int64) int32 {
+func (s *solver) insert(w []uint64, cost int64) (int32, bool) {
 	idx, existed := s.tab.Insert(w)
 	if existed {
 		if s.dist[idx] <= cost {
-			return -1
+			return -1, false
 		}
 		s.dist[idx] = cost
-		return int32(idx)
+		if s.async && s.expandedMark[idx] {
+			s.expandedMark[idx] = false
+			s.reopened++
+		}
+		return int32(idx), false
 	}
 	s.dist = append(s.dist, cost)
 	s.expandedMark = append(s.expandedMark, false)
+	if s.async && s.useDom {
+		s.settledMark = append(s.settledMark, false)
+	}
 	if s.witness {
 		s.parent = append(s.parent, parentEdge{from: stateRef{idx: -1}})
 	}
-	return int32(idx)
+	return int32(idx), true
 }
 
 // enqueue finishes an improving relaxation: incumbent bookkeeping, the
 // dead-state drop, and the frontier push.
 //
 //mpp:hotpath
-func (s *solver) enqueue(w []uint64, cost int64, idx int32) {
+func (s *solver) enqueue(w []uint64, cost int64, idx int32, fresh bool) {
 	// Anytime incumbent: any goal state relaxed at cost c witnesses a
 	// feasible pebbling of cost c, even though optimality is only proven
 	// at the layer barrier. The incumbent is a search-wide atomic min,
@@ -400,8 +491,14 @@ func (s *solver) enqueue(w []uint64, cost int64, idx int32) {
 	if h < 0 {
 		// Dead state (one-shot): provably cannot reach the goal. It
 		// stays in the table (so re-derivations are cheap) but is never
-		// queued. Counted into Pruned alongside dominance drops.
-		s.pruned++
+		// queued. Counted into Pruned alongside dominance drops — but
+		// only on first insertion: dead-ness is a pure function of the
+		// state words, so counting per state (not per improvement event)
+		// keeps Pruned order-independent and hence worker-count-
+		// invariant in deterministic mode.
+		if fresh {
+			s.pruned++
+		}
 		return
 	}
 	s.bq.push(cost+h, idx, cost)

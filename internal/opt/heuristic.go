@@ -84,15 +84,20 @@ func ParseHeuristicMode(s string) (HeuristicMode, bool) {
 // initDerived builds the instance-derived lookup state the heuristics
 // and the expander share: predecessor bitmasks, the sink mask, the full
 // node mask, the topological order and the chain-DP scratch. Called once
-// per search (and by RootLowerBound for a one-off evaluation).
+// per search (and by RootLowerBound for a one-off evaluation). It fully
+// overwrites every field it fills — including explicit zeroing of the
+// accumulated masks — so it is safe on a pool-recycled solver that still
+// carries a previous instance's values.
 func (s *solver) initDerived() {
 	g := s.in.Graph
-	s.predMask = make([]uint64, s.n)
+	s.predMask = resizeU64(s.predMask, s.n)
 	for v := 0; v < s.n; v++ {
+		s.predMask[v] = 0
 		for _, u := range g.Pred(dag.NodeID(v)) {
 			s.predMask[v] |= 1 << uint(u)
 		}
 	}
+	s.sinkMask = 0
 	for _, v := range g.Sinks() {
 		s.sinkMask |= 1 << uint(v)
 	}
@@ -103,7 +108,11 @@ func (s *solver) initDerived() {
 	}
 	s.kr = s.in.K * s.in.R
 	s.topo = g.Topo()
-	s.chainDP = make([]int32, s.n)
+	if cap(s.chainDP) < s.n {
+		s.chainDP = make([]int32, s.n)
+	} else {
+		s.chainDP = s.chainDP[:s.n]
+	}
 }
 
 // h dispatches on the configured mode. A negative return is the

@@ -56,6 +56,10 @@ package opt
 // map-backed oracle (oracle.go) runs through it too, so the
 // cross-implementation byte-for-byte equivalence tests cover the wave
 // semantics at every worker count.
+//
+// Config.Mode == ModeAsync swaps this wave discipline for speculative
+// asynchronous HDA* (async.go): same sharding, same routing batches and
+// atomics, no barriers — exact optima, relaxed determinism.
 
 import (
 	"context"
@@ -105,6 +109,7 @@ type engine struct {
 	cfg     Config
 	nShards int
 	limit   int64 // expansion budget; MaxInt64 when MaxStates is non-positive
+	pooled  bool  // shards come from / return to the package arena pool
 
 	shards []*solver
 	inbox  []chan *batch
@@ -114,35 +119,41 @@ type engine struct {
 	incumbent     int64  // atomic: cheapest feasible cost seen, MaxInt64 if none
 	stopFlag      uint32 // atomic: 0 = running, else uint32(Status) of the stop
 
+	// Async-mode quiescence detection (see async.go): the number of
+	// shards currently holding work, the number of shipped batches not
+	// yet applied by their receiver, an epoch bumped on every idle→busy
+	// transition, and the all-shards-quiescent flag.
+	busy     int64  // atomic
+	inflight int64  // atomic
+	activity int64  // atomic
+	doneFlag uint32 // atomic: 1 once quiescence was proven
+
+	// leftover collects batches whose receiver may already have quit
+	// (async early stop); the coordinator applies them after the workers
+	// exit so the anytime LowerBound sees the complete frontier.
+	leftMu   sync.Mutex
+	leftover []*batch
+
 	incMu    sync.Mutex // guards incRef alongside the incumbent store
 	incRef   stateRef
 	startRef stateRef // owner/index of the seed state
 }
 
-func newEngine(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() hashtab.Index) *engine {
+func newEngine(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() hashtab.Index, pooled bool) *engine {
 	w := resolveWorkers(cfg.Workers)
 	limit := int64(math.MaxInt64)
 	if cfg.MaxStates > 0 {
 		limit = int64(cfg.MaxStates)
 	}
-	e := &engine{in: in, ctx: ctx, cfg: cfg, nShards: w, limit: limit,
+	e := &engine{in: in, ctx: ctx, cfg: cfg, nShards: w, limit: limit, pooled: pooled,
 		incumbent: math.MaxInt64, incRef: stateRef{idx: -1}}
 	e.pool.New = func() any { return new(batch) }
 	e.shards = make([]*solver, w)
 	e.inbox = make([]chan *batch, w)
 	for i := range e.shards {
-		s := &solver{in: in, ctx: ctx, n: in.Graph.N(), cfg: cfg,
-			witness: cfg.Witness, useDom: cfg.Dominance && !cfg.Witness,
-			eng: e, shard: int32(i)}
-		s.initDerived()
-		s.initScratch()
-		s.tab = newTab()
-		if s.useDom {
-			s.dom = newDomIndex()
-		}
+		s := acquireSolver(pooled)
+		s.bind(e, int32(i), newTab, pooled)
 		if w > 1 {
-			s.out = make([]*batch, w)
-			s.incoming = make([][]*batch, w)
 			e.inbox[i] = make(chan *batch, inboxDepth)
 		}
 		e.shards[i] = s
@@ -196,6 +207,10 @@ func (e *engine) stopStatus() Status { return Status(atomic.LoadUint32(&e.stopFl
 
 // countExpansion charges one expansion against the shared budget,
 // raising the budget stop (and un-charging) when it would exceed it.
+// Async-engine only: a per-expansion cut is scheduling-dependent, which
+// the async mode's contract allows and the deterministic one does not —
+// deterministic engines charge unconditionally (chargeExpansion) and
+// stop at wave boundaries (budgetSpent).
 //
 //mpp:hotpath
 func (s *solver) countExpansion() bool {
@@ -208,6 +223,19 @@ func (s *solver) countExpansion() bool {
 	return true
 }
 
+// chargeExpansion records one deterministic-engine expansion. No limit
+// check: the wave in progress always completes (its expansion set must
+// stay a pure function of the search graph), and the coordinator stops
+// the search at the next wave boundary once budgetSpent reports the
+// budget gone.
+//
+//mpp:hotpath
+func (s *solver) chargeExpansion() { atomic.AddInt64(&s.eng.expandedTotal, 1) }
+
+// budgetSpent reports whether the expansion budget is exhausted —
+// consulted between waves, never inside one.
+func (e *engine) budgetSpent() bool { return atomic.LoadInt64(&e.expandedTotal) >= e.limit }
+
 func (e *engine) statesTotal() int { return int(atomic.LoadInt64(&e.expandedTotal)) }
 
 func (e *engine) prunedTotal() int {
@@ -218,8 +246,16 @@ func (e *engine) prunedTotal() int {
 	return total
 }
 
-// run seeds the start state and dispatches to the inline or parallel
-// driver.
+func (e *engine) reopenedTotal() int {
+	total := 0
+	for _, s := range e.shards {
+		total += s.reopened
+	}
+	return total
+}
+
+// run seeds the start state and dispatches to the mode's inline or
+// parallel driver.
 func (e *engine) run() (*Result, error) {
 	start := make([]uint64, stateWords(e.in.K))
 	owner := 0
@@ -227,9 +263,15 @@ func (e *engine) run() (*Result, error) {
 		owner = e.ownerOf(start)
 	}
 	s := e.shards[owner]
-	idx := s.insert(start, 0)
+	idx, fresh := s.insert(start, 0)
 	e.startRef = stateRef{shard: int32(owner), idx: idx}
-	s.enqueue(start, 0, idx)
+	s.enqueue(start, 0, idx, fresh)
+	if e.cfg.Mode == ModeAsync {
+		if e.nShards == 1 {
+			return e.runAsyncInline()
+		}
+		return e.runAsync()
+	}
 	if e.nShards == 1 {
 		return e.runInline()
 	}
@@ -254,6 +296,9 @@ func (e *engine) runInline() (*Result, error) {
 			}
 			if st := e.stopStatus(); st != StatusComplete {
 				return e.partialResult(st, f, false)
+			}
+			if e.budgetSpent() {
+				return e.partialResult(StatusBudget, f, false)
 			}
 			s.expandWave(f)
 			if st := e.stopStatus(); st != StatusComplete {
@@ -316,6 +361,10 @@ func (e *engine) runParallel() (*Result, error) {
 			if st := e.stopStatus(); st != StatusComplete {
 				stopWorkers()
 				return e.partialResult(st, f, false)
+			}
+			if e.budgetSpent() {
+				stopWorkers()
+				return e.partialResult(StatusBudget, f, false)
 			}
 			for i := 0; i < w; i++ {
 				cmds[i] <- f
@@ -380,9 +429,7 @@ func (s *solver) expandWave(f int64) {
 			e.requestStop(StatusCanceled)
 			break
 		}
-		if !s.countExpansion() {
-			break
-		}
+		s.chargeExpansion()
 		s.expandedMark[ent.idx] = true
 		s.expanded++
 		s.waveExp = append(s.waveExp, ent.idx)
@@ -427,7 +474,11 @@ func (s *solver) route(dst int, cost int64, kind pebble.OpKind, choice []int) {
 	b.n++
 	if b.n >= batchStates {
 		s.out[dst] = nil
-		s.send(dst, b)
+		if s.async {
+			s.asyncShip(dst, b)
+		} else {
+			s.send(dst, b)
+		}
 	}
 }
 
@@ -554,7 +605,8 @@ func (e *engine) complete() (*Result, error) {
 	inc := e.incumbentNow()
 	res := &Result{Cost: inc, States: e.statesTotal(), Status: StatusComplete,
 		Incumbent: inc, LowerBound: inc,
-		Pruned: e.prunedTotal(), HeuristicMode: e.cfg.Heuristic}
+		Pruned: e.prunedTotal(), ReExpanded: e.reopenedTotal(),
+		HeuristicMode: e.cfg.Heuristic}
 	if e.cfg.Witness {
 		strat, err := e.reconstruct(e.witnessRef())
 		if err != nil {
@@ -577,7 +629,8 @@ func (e *engine) complete() (*Result, error) {
 func (e *engine) partialResult(st Status, f int64, midWave bool) (*Result, error) {
 	states := e.statesTotal()
 	res := &Result{Cost: -1, States: states, Status: st, Incumbent: -1,
-		Pruned: e.prunedTotal(), HeuristicMode: e.cfg.Heuristic}
+		Pruned: e.prunedTotal(), ReExpanded: e.reopenedTotal(),
+		HeuristicMode: e.cfg.Heuristic}
 	lb := int64(math.MaxInt64)
 	for _, s := range e.shards {
 		if m, ok := s.liveMinF(); ok && m < lb {

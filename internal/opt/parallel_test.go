@@ -20,10 +20,10 @@ var workerSweep = []int{1, 2, 4, 7}
 
 // TestExactWorkersMatchSequentialZoo locks the parallel solver to the
 // single-worker run for every zoo case and worker count: Cost, States,
-// Status, Incumbent and LowerBound must be byte-identical. Pruned joins
-// the comparison except in one-shot mode, where the dead-state share
-// counts improvement events whose within-wave order is worker-dependent
-// (see parallel.go).
+// Status, Incumbent, LowerBound and Pruned must all be byte-identical.
+// Pruned is unconditional since the dead-state share started counting
+// distinct dead states (order-independent) instead of improvement
+// events — the ISSUE 6 stats unification.
 func TestExactWorkersMatchSequentialZoo(t *testing.T) {
 	ctx := context.Background()
 	for _, c := range zooCases() {
@@ -47,7 +47,7 @@ func TestExactWorkersMatchSequentialZoo(t *testing.T) {
 					c.name, w, got.Cost, got.States, got.Status, got.Incumbent, got.LowerBound,
 					want.Cost, want.States, want.Status, want.Incumbent, want.LowerBound)
 			}
-			if !in.OneShot && got.Pruned != want.Pruned {
+			if got.Pruned != want.Pruned {
 				t.Errorf("%s: workers=%d pruned %d ≠ workers=1 pruned %d",
 					c.name, w, got.Pruned, want.Pruned)
 			}

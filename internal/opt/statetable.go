@@ -99,6 +99,36 @@ func (q *bucketQueue) takeBucket(f int64, into []bqEntry) []bqEntry {
 	return into
 }
 
+// popBucket removes and returns one entry from bucket f (false when the
+// bucket is empty or out of range). The asynchronous engine pops one
+// entry at a time instead of draining whole waves; within a bucket the
+// order is LIFO, which keeps the speculative search depth-first across
+// an f-plateau — successors of the newest same-f state are tried first,
+// reaching goal states (and hence incumbent pruning) sooner.
+//
+//mpp:hotpath
+func (q *bucketQueue) popBucket(f int64) (bqEntry, bool) {
+	fi := int(f)
+	if fi >= len(q.buckets) || len(q.buckets[fi]) == 0 {
+		return bqEntry{}, false
+	}
+	b := q.buckets[fi]
+	ent := b[len(b)-1]
+	q.buckets[fi] = b[:len(b)-1]
+	q.size--
+	return ent, true
+}
+
+// reset empties the queue while keeping every bucket's capacity, so a
+// pooled solver's queue is reusable across searches without reallocating.
+func (q *bucketQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.cur = 0
+	q.size = 0
+}
+
 // hasBucket reports whether bucket f currently holds any entry (live or
 // stale) — the wave driver's "does this layer need another wave" test.
 func (q *bucketQueue) hasBucket(f int64) bool {

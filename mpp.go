@@ -72,14 +72,29 @@ type (
 	// stopped it.
 	SearchStatus = opt.Status
 	// SearchConfig selects the exact solver's heuristic mode, pruning
-	// switches and shard-worker count (Workers: 0 = GOMAXPROCS; results
-	// are byte-identical at every worker count); the zero value is the
-	// bare compute floor with pruning off, opt.DefaultConfig the full
-	// stack.
+	// switches, shard-worker count (Workers: 0 = GOMAXPROCS) and engine
+	// mode (Mode: deterministic runs are byte-identical at every worker
+	// count, async trades that determinism for multicore throughput);
+	// the zero value is the bare compute floor with pruning off,
+	// opt.DefaultConfig the full stack.
 	SearchConfig = opt.Config
 	// HeuristicMode picks the admissible cost-to-go bound (floor | io |
 	// max) the exact search runs under.
 	HeuristicMode = opt.HeuristicMode
+	// SearchMode selects the exact engine: ModeDeterministic (wave-
+	// synchronous, byte-identical statistics at every worker count) or
+	// ModeAsync (speculative HDA*, same proven optima, timing-dependent
+	// statistics — see DESIGN.md §6).
+	SearchMode = opt.Mode
+	// BatchResult pairs one instance's OptResult with its solve error in
+	// a SolveBatch result set.
+	BatchResult = opt.BatchResult
+)
+
+// Engine modes for SearchConfig.Mode.
+const (
+	ModeDeterministic = opt.ModeDeterministic
+	ModeAsync         = opt.ModeAsync
 )
 
 // ErrBudget is returned (wrapped) when a solver exhausts its state
@@ -107,6 +122,13 @@ func ExactCtx(ctx context.Context, in *Instance, maxStates int) (*OptResult, err
 // and dominance pruning — instead of the default full stack.
 func ExactWith(ctx context.Context, in *Instance, cfg SearchConfig) (*OptResult, error) {
 	return opt.ExactWith(ctx, in, cfg)
+}
+
+// SolveBatch solves many instances under one SearchConfig, recycling
+// the solver arenas (state tables, queues, scratch) between instances;
+// results come back in input order, one per instance.
+func SolveBatch(ctx context.Context, ins []*Instance, cfg SearchConfig) []BatchResult {
+	return opt.SolveBatch(ctx, ins, cfg)
 }
 
 // ZeroIO decides whether g has a zero-I/O pebbling with r red pebbles

@@ -9,6 +9,12 @@
 #   QUICK=1 scripts/bench.sh           # shorter sampling windows
 #   BENCHTIME=5x scripts/bench.sh      # longer go-test benches
 #   WORKERS=1,2,4,8 scripts/bench.sh   # sharded-solver sweep widths
+#   MODES=deterministic scripts/bench.sh  # skip the async engine rows
+#
+# On a single-CPU machine (or GOMAXPROCS=1) a multi-width WORKERS sweep
+# measures sharding overhead, not speedup: mppbench prints a loud
+# warning and stamps the snapshot's "sweep_warning" field so the JSON
+# cannot be mistaken for a multicore result.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +30,7 @@ prev=$(ls BENCH_*.json 2>/dev/null | grep -vF "$out" | sort | tail -1 || true)
 
 echo "== mppbench -> $out =="
 # WORKERS sets the sharded-solver sweep (-wN rows with a speedup column
-# vs the -w1 baseline); states expanded stay byte-identical across the
-# sweep, so -diff gates the -wN rows like any other solver benchmark.
-go run ./cmd/mppbench ${QUICK:+-quick} -workers "${WORKERS:-1,2,4}" -out "$out" ${prev:+-diff "$prev"}
+# vs the -w1 baseline) and MODES which engines it runs (deterministic
+# states stay byte-identical across the sweep and are diff-gated at
+# +20%; async rows are timing-dependent and gated at +50%).
+go run ./cmd/mppbench ${QUICK:+-quick} -workers "${WORKERS:-1,2,4}" -modes "${MODES:-deterministic,async}" -out "$out" ${prev:+-diff "$prev"}

@@ -35,8 +35,11 @@ echo "== go test -race =="
 # The sharded exact solver (opt.Config.Workers > 1) routes states across
 # shard goroutines over channels with an atomic incumbent/budget — so
 # internal/opt runs its FULL race suite (the determinism sweep over
-# Workers ∈ {1,2,4,7} included; ~2 min under -race). sched and exp only
-# fan out coarse-grained portfolio/experiment goroutines and stay -short.
+# Workers ∈ {1,2,4,7} AND the async-engine equivalence properties —
+# TestAsyncMatchesDeterministicZoo, TestAsyncWitnessReplays,
+# TestAsyncPartialBudgetBracket, TestAsyncCancel — included; ~2.5 min
+# under -race). sched and exp only fan out coarse-grained
+# portfolio/experiment goroutines and stay -short.
 go test -race ./internal/opt/
 go test -race -short ./internal/sched/ ./internal/exp/
 
@@ -44,10 +47,11 @@ echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
 
 echo "== states-expanded regression gate =="
-# Exact-search expansion counts are deterministic, so a quick solver-only
+# Deterministic expansion counts are exact, so a quick solver-only
 # mppbench run diffed against the latest committed snapshot catches any
 # heuristic/pruning regression (>20% more states on a shared benchmark
-# fails). v1 snapshots are read compatibly.
+# fails; timing-dependent async rows get a looser +50% gate). v1
+# snapshots are read compatibly.
 latest_bench=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
 if [ -n "$latest_bench" ]; then
     go run ./cmd/mppbench -quick -group solver -out /dev/null -diff "$latest_bench"
