@@ -44,6 +44,16 @@
 // The batch-zoo3-w1 benchmark drives three instances of mixed k through
 // opt.SolveBatch, measuring the pooled-arena path end to end.
 //
+// The cache group (disable with -cache=false) measures the
+// content-addressable solve cache's hit path: each cached-* row primes
+// an opt.SolveCache with one fresh solve of the matching solver-group
+// instance, then measures repeat solves — pure fingerprint-and-lookup,
+// microseconds against the fresh search's milliseconds. The row's
+// speedup field records fresh-solve ns over cached-solve ns. -diff
+// gates these rows on ns/op (10× tolerance: hit latency is noisy, but a
+// broken cache is a 100–1000× jump), not states expanded, which is
+// zero by definition on a hit.
+//
 // -diff compares the freshly measured solver records against a committed
 // snapshot (v1 snapshots are read compatibly: their per-op expansion
 // count is recovered from states_per_sec × ns_per_op) and exits non-zero
@@ -67,6 +77,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/cache"
 	"repro/internal/dag"
 	"repro/internal/exp"
 	"repro/internal/gen"
@@ -79,7 +90,7 @@ import (
 
 type record struct {
 	Name         string  `json:"name"`
-	Group        string  `json:"group"` // "solver" | "engine" | "experiment"
+	Group        string  `json:"group"` // "solver" | "cache" | "engine" | "experiment"
 	Iterations   int     `json:"iterations"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
@@ -169,10 +180,11 @@ func measure(name, group string, minTime time.Duration, fn func() (states int, e
 func main() {
 	out := flag.String("out", "", `output file ("-" = stdout; default BENCH_<date>.json)`)
 	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
-	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "engine" or "experiment" (default all)`)
-	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states")
+	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "cache", "engine" or "experiment" (default all)`)
+	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states (cache rows: >10x ns/op)")
 	workersFlag := flag.String("workers", "1,2,4", `comma-separated worker counts for the exact-search workers sweep ("" disables the -wN rows)`)
 	modesFlag := flag.String("modes", "deterministic,async", `comma-separated engine modes for the workers sweep ("deterministic", "async")`)
+	cacheBench := flag.Bool("cache", true, "run the solve-cache hit-latency benchmark rows (the cache group)")
 	timeout := flag.Duration("timeout", 0, "deadline per solver call and per experiment (0 = none); searches that hit it are skipped with their bound gap")
 	maxStates := flag.Int("max-states", 0, "cap each exact solver call's explored states (0 = benchmark defaults)")
 	flag.Parse()
@@ -284,11 +296,11 @@ func main() {
 	// for -diff's looser gate.
 	sweep, err := parseWorkers(*workersFlag)
 	if err != nil {
-		fatal(err)
+		usageErr(err)
 	}
 	modes, err := parseModes(*modesFlag)
 	if err != nil {
-		fatal(err)
+		usageErr(err)
 	}
 	if len(sweep) > 1 && (snap.NumCPU == 1 || snap.GOMAXPROCS == 1) {
 		snap.SweepWarning = fmt.Sprintf(
@@ -424,6 +436,51 @@ func main() {
 		}))
 	}
 
+	// --- cache group: the content-addressable solve cache's hit path --
+	// Each row primes a fresh opt.SolveCache with one solve, then
+	// measures repeat solves of the same instance: a pure
+	// fingerprint-hash + LRU-lookup + clone, no search. The speedup
+	// field records the primed (fresh, uncached) solve's wall time over
+	// the hit latency — the repeat-solve amortization the cache buys.
+	if wantGroup("cache") && *cacheBench {
+		cachedHit := func(name string, in *pebble.Instance, budget int) {
+			sc := opt.NewSolveCache(cache.Options{})
+			cfg := opt.DefaultConfig(states(budget))
+			cfg.Workers = 1
+			solveOnce := func() (*opt.Result, error) {
+				ctx, cancel := solverCtx()
+				defer cancel()
+				return opt.SolveCached(ctx, in, cfg, sc)
+			}
+			primeStart := time.Now()
+			primed, err := solveOnce()
+			freshNs := time.Since(primeStart).Nanoseconds()
+			if err != nil {
+				add(record{}, annotateGap(primed, err))
+				return
+			}
+			rec, err := measure(name, "cache", minTime, func() (int, error) {
+				res, err := solveOnce()
+				if err != nil {
+					return 0, err
+				}
+				if res.Cost != primed.Cost {
+					return 0, fmt.Errorf("%s: cache hit cost %d != fresh cost %d", name, res.Cost, primed.Cost)
+				}
+				return 0, nil
+			})
+			if err == nil && rec.NsPerOp > 0 {
+				rec.Speedup = math.Round(100*float64(freshNs)/float64(rec.NsPerOp)) / 100
+			}
+			add(rec, err)
+		}
+		gridK2 := pebble.MustInstance(gen.Grid2D(2, 3), pebble.MPP(2, 3, 2))
+		cachedHit("cached-exact-grid2x3-k2", gridK2, 10_000_000)
+		zipg, _ := gen.Zipper(2, 3, 0)
+		zipIn := pebble.MustInstance(zipg, pebble.MPP(1, 4, 5))
+		cachedHit("cached-exact-zipper2x3-k1-g5", zipIn, 10_000_000)
+	}
+
 	// --- engine group: replay and scheduling --------------------------
 	if wantGroup("engine") {
 		zg, ids := gen.Zipper(8, 200, 0)
@@ -527,19 +584,45 @@ func diffStates(path string, fresh []record) error {
 	// as an explicit "n/a" below, never as a silent skip or an Inf/NaN
 	// ratio feeding the exit decision.
 	baseline := make(map[string]int)
+	baselineNs := make(map[string]int64)
 	for _, r := range base.Benchmarks {
-		if r.Group != "solver" {
-			continue
+		switch r.Group {
+		case "solver":
+			st := r.StatesExpanded
+			if st == 0 && r.StatesPerSec > 0 && r.NsPerOp > 0 {
+				st = int(math.Round(r.StatesPerSec * float64(r.NsPerOp) / 1e9))
+			}
+			baseline[r.Name] = st
+		case "cache":
+			baselineNs[r.Name] = r.NsPerOp
 		}
-		st := r.StatesExpanded
-		if st == 0 && r.StatesPerSec > 0 && r.NsPerOp > 0 {
-			st = int(math.Round(r.StatesPerSec * float64(r.NsPerOp) / 1e9))
-		}
-		baseline[r.Name] = st
 	}
 	regressed := 0
 	compared := 0
+	// Cache-group rows have no expansion count (a hit expands nothing),
+	// so they are gated on wall latency with a deliberately loose 10×
+	// tolerance: hit latency wobbles with the machine, but the failure
+	// this guards against — the hit path silently degrading into a
+	// re-search — is a 100–1000× jump.
 	for _, r := range fresh {
+		if r.Group == "cache" {
+			want, ok := baselineNs[r.Name]
+			if !ok {
+				continue
+			}
+			if want <= 0 || r.NsPerOp <= 0 {
+				fmt.Fprintf(os.Stderr, "mppbench: n/a %s: ns/op %d now vs %d in %s (ratio undefined, not gated)\n",
+					r.Name, r.NsPerOp, want, path)
+				continue
+			}
+			compared++
+			if float64(r.NsPerOp) > 10*float64(want) {
+				regressed++
+				fmt.Fprintf(os.Stderr, "mppbench: REGRESSION %s [cache, gate 10x]: %d ns/op vs %d in %s (%.1fx)\n",
+					r.Name, r.NsPerOp, want, path, float64(r.NsPerOp)/float64(want))
+			}
+			continue
+		}
 		if r.Group != "solver" {
 			continue
 		}
@@ -563,10 +646,10 @@ func diffStates(path string, fresh []record) error {
 				r.Name, mode, 100*(tol-1), r.StatesExpanded, want, path, 100*(float64(r.StatesExpanded)/float64(want)-1))
 		}
 	}
-	fmt.Fprintf(os.Stderr, "mppbench: diff vs %s (%s): %d solver benchmarks compared, %d regressed\n",
+	fmt.Fprintf(os.Stderr, "mppbench: diff vs %s (%s): %d solver/cache benchmarks compared, %d regressed\n",
 		path, base.Schema, compared, regressed)
 	if regressed > 0 {
-		return fmt.Errorf("%d solver benchmark(s) regressed >20%% in states expanded vs %s", regressed, path)
+		return fmt.Errorf("%d benchmark(s) regressed past their gate vs %s", regressed, path)
 	}
 	return nil
 }
@@ -643,6 +726,16 @@ func gitCommit() string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mppbench:", err)
 	os.Exit(1)
+}
+
+// usageErr reports an invalid flag value (bad -modes/-workers entry)
+// and exits with the conventional usage-error status 2, distinct from
+// exit 1 (a benchmark or regression-gate failure). The error message
+// names the accepted values, so a typo fails loudly instead of being
+// mistaken for the deterministic default.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "mppbench:", err)
+	os.Exit(2)
 }
 
 // annotateGap decorates an exact solver's early-stop error with the

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runExpect(t *testing.T, bin string, wantCode int, wantStderr string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Errorf("%v: exit code %d, want %d\nstderr: %s", args, code, wantCode, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), wantStderr) {
+		t.Errorf("%v: stderr %q does not mention %q", args, stderr.String(), wantStderr)
+	}
+}
+
+// TestSweepFlagValidation: malformed -modes / -workers values must fail
+// with the usage exit code 2 naming the accepted values, before any
+// benchmark runs (a typo'd sweep that silently measured the default
+// would masquerade as the requested one in the committed snapshot).
+func TestSweepFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	runExpect(t, bin, 2, `"deterministic" or "async"`, "-modes", "wat", "-out", "/dev/null")
+	runExpect(t, bin, 2, "not a positive worker count", "-workers", "0", "-out", "/dev/null")
+	runExpect(t, bin, 2, "not a positive worker count", "-workers", "2,x", "-out", "/dev/null")
+}

@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	mppexp [-quick] [-markdown] [-list] [-timeout d] [-max-states n] [-async] [ids...]
+//	mppexp [-quick] [-markdown] [-list] [-timeout d] [-max-states n] [-mode m] [-async] [-cache] [ids...]
 //
 // With no ids, every experiment runs. -markdown emits the format used in
 // EXPERIMENTS.md. -timeout and -max-states bound each experiment; runs
 // that hit a bound report partial results (with the solver's incumbent
-// and bound gap where available) instead of failing. -async switches
-// every exact solve to the asynchronous engine (opt.ModeAsync): the
-// proven optima are identical, but states-explored counts become
-// timing-dependent, so recorded tables may differ cosmetically between
-// runs.
+// and bound gap where available) instead of failing. -mode selects the
+// exact engine by name ("deterministic" or "async"); -async is the
+// legacy spelling of -mode async, and combining it with an explicit
+// -mode deterministic is a contradiction rejected with exit 2 — as is an
+// unknown -mode value — rather than silently falling back to the
+// default. Async runs prove identical optima, but states-explored
+// counts become timing-dependent, so recorded tables may differ
+// cosmetically between runs. -cache memoizes every exact solve behind
+// its instance fingerprint for the run (experiments sharing instances
+// skip re-searching; -cache-dir persists results across runs) and
+// prints the hit/miss counters at exit.
 package main
 
 import (
@@ -24,9 +30,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/exp"
+	"repro/internal/opt"
 	"repro/internal/prof"
 )
+
+// usageErr reports a bad flag combination or value and exits with the
+// conventional usage-error status 2 (distinct from exit 1, a failed
+// experiment).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mppexp: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size instances (seconds instead of minutes)")
@@ -36,8 +52,27 @@ func main() {
 	jobs := flag.Int("j", 1, "run experiments concurrently on up to this many workers (output stays in ID order)")
 	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock deadline (0 = none); expired experiments report partial results")
 	maxStates := flag.Int("max-states", 0, "cap each exact-solver call's explored states (0 = experiment defaults)")
-	async := flag.Bool("async", false, "run exact solves in asynchronous fast mode (same optima, nondeterministic statistics)")
+	async := flag.Bool("async", false, `run exact solves in asynchronous fast mode (same optima, nondeterministic statistics); shorthand for -mode async`)
+	modeFlag := flag.String("mode", "", `exact engine mode: "deterministic" or "async" (default deterministic)`)
+	useCache := flag.Bool("cache", false, "memoize exact solves behind instance fingerprints for this run; prints hit/miss counters at exit")
+	cacheDir := flag.String("cache-dir", "", "file-backed solve-cache directory (implies -cache); results persist across runs")
 	flag.Parse()
+
+	// Resolve the engine mode before anything else runs: a typo or a
+	// contradictory combination must fail loudly (exit 2, the accepted
+	// values named), never silently run the deterministic default.
+	runAsync := *async
+	if *modeFlag != "" {
+		m, ok := opt.ParseMode(*modeFlag)
+		if !ok {
+			usageErr(`unknown -mode %q (accepted values: "deterministic", "async")`, *modeFlag)
+		}
+		if *async && m == opt.ModeDeterministic {
+			usageErr(`contradictory flags: -async with -mode deterministic (drop one; -async means -mode async)`)
+		}
+		runAsync = m == opt.ModeAsync
+	}
+
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mppexp:", err)
@@ -67,7 +102,12 @@ func main() {
 		}
 	}
 
-	cfg := exp.Config{Quick: *quick, Timeout: *timeout, MaxStates: *maxStates, Async: *async}
+	cfg := exp.Config{Quick: *quick, Timeout: *timeout, MaxStates: *maxStates, Async: runAsync}
+	var solveCache *opt.SolveCache
+	if *useCache || *cacheDir != "" {
+		solveCache = opt.NewSolveCache(cache.Options{Dir: *cacheDir})
+		cfg.Cache = solveCache
+	}
 	workers := *jobs
 	if workers < 1 {
 		workers = 1
@@ -136,6 +176,16 @@ func main() {
 		} else if !res.tab.Pass() {
 			failures++
 		}
+	}
+	if solveCache != nil {
+		st := solveCache.Stats()
+		fmt.Fprintf(os.Stderr,
+			"mppexp: cache: %d hits, %d misses, %d partial hits, %d partial misses, %d evictions, %d entries, %d bytes",
+			st.Hits, st.Misses, st.PartialHits, st.PartialMisses, st.Evictions, st.Entries, st.Bytes)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, ", %d disk hits, %d disk errors", st.DiskHits, st.DiskErrors)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	if partials > 0 {
 		fmt.Fprintf(os.Stderr, "mppexp: %d experiment(s) returned partial results\n", partials)

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command in the current directory into a temp
+// binary so the tests can assert real process exit codes — flag
+// validation must fail with status 2 before any experiment runs.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runExpect runs the binary and asserts the exit code and a stderr
+// substring.
+func runExpect(t *testing.T, bin string, wantCode int, wantStderr string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantCode {
+		t.Errorf("%v: exit code %d, want %d\nstderr: %s", args, code, wantCode, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), wantStderr) {
+		t.Errorf("%v: stderr %q does not mention %q", args, stderr.String(), wantStderr)
+	}
+}
+
+// TestModeFlagValidation: an unknown -mode and the contradictory
+// -async -mode deterministic combination must fail with the usage exit
+// code 2 and name the accepted values — never silently run the default
+// engine.
+func TestModeFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	runExpect(t, bin, 2, `"deterministic", "async"`, "-mode", "bogus", "-list")
+	runExpect(t, bin, 2, "contradictory", "-async", "-mode", "deterministic", "-list")
+	// The legal spellings still work (-list exits 0 without solving).
+	runExpect(t, bin, 0, "", "-mode", "async", "-list")
+	runExpect(t, bin, 0, "", "-async", "-mode", "async", "-list")
+}

@@ -1,0 +1,340 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Codec serializes cached values for the file-backed store. Encode and
+// Decode must round-trip: Decode(Encode(v)) is a value equivalent to v.
+// A Cache with no Codec (or no Dir) is memory-only.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Options configures a Cache. The zero value is usable: memory-only,
+// with the default entry and byte bounds.
+type Options struct {
+	// MaxEntries bounds the number of in-memory entries (complete and
+	// partial combined); non-positive selects DefaultMaxEntries.
+	MaxEntries int
+	// MaxBytes bounds the estimated retained bytes of in-memory entries;
+	// non-positive selects DefaultMaxBytes.
+	MaxBytes int64
+	// Dir, when non-empty, enables the file-backed store: one blob per
+	// key under this directory (created on first write), so results
+	// survive process restarts. Evicting an entry from memory never
+	// deletes its blob — persistence is the point. Requires Codec.
+	Dir string
+	// Codec serializes values for Dir. Ignored when Dir is empty.
+	Codec Codec
+}
+
+// Default in-memory bounds: small instances dominate the workload, so
+// 4096 results at ≲64 MiB comfortably covers a zoo of repeat solves
+// without letting witness-heavy strategies pin unbounded memory.
+const (
+	DefaultMaxEntries = 4096
+	DefaultMaxBytes   = 64 << 20
+)
+
+// Entry is one cached value with its bookkeeping.
+type Entry struct {
+	// Value is the cached result. The cache never copies it; callers
+	// that mutate served values must store and serve clones themselves.
+	Value any
+	// Size is the caller's estimate of Value's retained bytes, counted
+	// against Options.MaxBytes. Non-positive is treated as 1.
+	Size int64
+	// Budget is the MaxStates budget a partial bracket was computed
+	// under (0 on complete entries). GetPartial's serve guard reads it.
+	Budget int
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits / Misses count complete-result lookups (Get).
+	Hits, Misses int64
+	// PartialHits / PartialMisses count partial-bracket lookups
+	// (GetPartial). A lookup rejected by the budget guard counts as a
+	// miss and increments BudgetRejects.
+	PartialHits, PartialMisses int64
+	// BudgetRejects counts partial entries present but withheld because
+	// the caller's budget was tighter than the stored bracket's.
+	BudgetRejects int64
+	// Evictions counts in-memory entries dropped to satisfy the bounds.
+	Evictions int64
+	// DiskHits counts lookups answered from the file-backed store after
+	// a memory miss (also counted in Hits/PartialHits).
+	DiskHits int64
+	// DiskErrors counts file-store I/O or decode failures; the store is
+	// best-effort, so these degrade to misses instead of propagating.
+	DiskErrors int64
+	// Entries and Bytes describe the current in-memory footprint.
+	Entries int
+	Bytes   int64
+}
+
+// node is one LRU list element; head side is most recently used.
+type node struct {
+	key        Key
+	ent        Entry
+	prev, next *node
+}
+
+// Cache is a mutex-guarded bounded LRU over fingerprint keys, with an
+// optional file-backed second level. Safe for concurrent use. Disk I/O
+// runs under the lock — it only happens on memory misses, which are off
+// the repeat-solve hot path by definition.
+type Cache struct {
+	mu         sync.Mutex
+	m          map[Key]*node
+	head, tail *node
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+	dir        string
+	codec      Codec
+	stats      Stats
+}
+
+// New returns an empty cache under the given options.
+func New(o Options) *Cache {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = DefaultMaxEntries
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	c := &Cache{
+		m:          make(map[Key]*node),
+		maxEntries: o.MaxEntries,
+		maxBytes:   o.MaxBytes,
+	}
+	if o.Dir != "" && o.Codec != nil {
+		c.dir, c.codec = o.Dir, o.Codec
+	}
+	return c
+}
+
+// Get returns the complete-result entry under k. A memory miss falls
+// through to the file store (when configured); a loaded blob is
+// promoted into memory.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.lookup(k); ok {
+		c.stats.Hits++
+		return e, true
+	}
+	if e, ok := c.loadDisk(k); ok {
+		c.stats.Hits++
+		c.stats.DiskHits++
+		return e, true
+	}
+	c.stats.Misses++
+	return Entry{}, false
+}
+
+// GetPartial returns the partial-bracket entry under k only when the
+// caller's budget justifies serving it: the stored bracket must have
+// been computed under an equal-or-tighter budget (Entry.Budget ≤
+// callerBudget), so the caller receives at most the information its own
+// solve would have produced — never a laundered tighter bound. Callers
+// with an unbounded budget (callerBudget ≤ 0) are never served a
+// partial: their own solve runs to completion.
+func (c *Cache) GetPartial(k Key, callerBudget int) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.lookup(k)
+	if !ok {
+		if e, ok = c.loadDisk(k); ok {
+			c.stats.DiskHits++
+		}
+	}
+	if !ok {
+		c.stats.PartialMisses++
+		return Entry{}, false
+	}
+	if callerBudget <= 0 || callerBudget < e.Budget {
+		c.stats.BudgetRejects++
+		c.stats.PartialMisses++
+		return Entry{}, false
+	}
+	c.stats.PartialHits++
+	return e, true
+}
+
+// Put stores e under k, overwriting any previous entry, evicting from
+// the LRU tail as needed, and (when configured) writing the blob to the
+// file store. An entry larger than the whole byte bound is written to
+// disk but not kept in memory — caching it would evict everything else.
+func (c *Cache) Put(k Key, e Entry) {
+	if e.Size <= 0 {
+		e.Size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeDisk(k, e)
+	c.insert(k, e)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.m)
+	s.Bytes = c.bytes
+	return s
+}
+
+// lookup finds k in memory and promotes it to most-recently-used.
+func (c *Cache) lookup(k Key) (Entry, bool) {
+	n, ok := c.m[k]
+	if !ok {
+		return Entry{}, false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return n.ent, true
+}
+
+// insert adds or replaces k in memory and evicts down to the bounds.
+func (c *Cache) insert(k Key, e Entry) {
+	if n, ok := c.m[k]; ok {
+		c.bytes += e.Size - n.ent.Size
+		n.ent = e
+		c.unlink(n)
+		c.pushFront(n)
+	} else if e.Size <= c.maxBytes {
+		n = &node{key: k, ent: e}
+		c.m[k] = n
+		c.pushFront(n)
+		c.bytes += e.Size
+	}
+	for len(c.m) > c.maxEntries || c.bytes > c.maxBytes {
+		t := c.tail
+		if t == nil {
+			break
+		}
+		c.unlink(t)
+		delete(c.m, t.key)
+		c.bytes -= t.ent.Size
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if c.head == n {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if c.tail == n {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// File-store blob layout: magic, 8-byte little-endian budget, then the
+// codec payload. One blob per key, named <keyhex>.mppc; writes go
+// through a temp file + rename so a crash never leaves a torn blob.
+var blobMagic = []byte("mpp-cache/v1\n")
+
+const blobExt = ".mppc"
+
+func (c *Cache) blobPath(k Key) string {
+	return filepath.Join(c.dir, k.String()+blobExt)
+}
+
+// storeDisk writes the entry's blob, best-effort: failures count into
+// DiskErrors and the in-memory store proceeds regardless.
+func (c *Cache) storeDisk(k Key, e Entry) {
+	if c.dir == "" {
+		return
+	}
+	payload, err := c.codec.Encode(e.Value)
+	if err != nil {
+		c.stats.DiskErrors++
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.stats.DiskErrors++
+		return
+	}
+	buf := make([]byte, 0, len(blobMagic)+8+len(payload))
+	buf = append(buf, blobMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Budget))
+	buf = append(buf, payload...)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		c.stats.DiskErrors++
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.stats.DiskErrors++
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.blobPath(k)); err != nil {
+		os.Remove(tmp.Name())
+		c.stats.DiskErrors++
+	}
+}
+
+// loadDisk reads and decodes k's blob, promoting it into memory on
+// success. A missing blob is a plain miss; anything malformed counts
+// into DiskErrors and degrades to a miss.
+func (c *Cache) loadDisk(k Key) (Entry, bool) {
+	if c.dir == "" {
+		return Entry{}, false
+	}
+	data, err := os.ReadFile(c.blobPath(k))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.stats.DiskErrors++
+		}
+		return Entry{}, false
+	}
+	e, err := decodeBlob(data, c.codec)
+	if err != nil {
+		c.stats.DiskErrors++
+		return Entry{}, false
+	}
+	c.insert(k, e)
+	return e, true
+}
+
+func decodeBlob(data []byte, codec Codec) (Entry, error) {
+	if len(data) < len(blobMagic)+8 || string(data[:len(blobMagic)]) != string(blobMagic) {
+		return Entry{}, fmt.Errorf("cache: malformed blob header")
+	}
+	budget := binary.LittleEndian.Uint64(data[len(blobMagic):])
+	v, err := codec.Decode(data[len(blobMagic)+8:])
+	if err != nil {
+		return Entry{}, fmt.Errorf("cache: decoding blob: %w", err)
+	}
+	return Entry{Value: v, Size: int64(len(data)), Budget: int(budget)}, nil
+}

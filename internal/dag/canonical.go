@@ -1,0 +1,26 @@
+package dag
+
+// Canonical structural encoding, the DAG half of an instance fingerprint
+// (see internal/cache). Two graphs with the same node count and edge set
+// must encode identically no matter how they were assembled — Builder
+// insertion order, generator, or a spec string — and any structural
+// difference (one node, one edge) must change the words.
+
+// AppendCanonicalWords appends a representation-stable packed encoding
+// of the graph's structure to dst and returns the extended slice: the
+// node count, the edge count, then every edge as one word (u<<32 | v)
+// in (u,v)-ascending order. The order is canonical by construction:
+// Build sorts the edge set before laying out the CSR arrays, so the
+// successor walk below visits edges identically for every insertion
+// order. The descriptive name and node labels are deliberately
+// excluded — they never affect pebbling costs, and two differently
+// named copies of the same DAG must fingerprint the same.
+func (g *Graph) AppendCanonicalWords(dst []uint64) []uint64 {
+	dst = append(dst, uint64(g.N()), uint64(g.M()))
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succ(NodeID(u)) {
+			dst = append(dst, uint64(uint32(u))<<32|uint64(uint32(v)))
+		}
+	}
+	return dst
+}

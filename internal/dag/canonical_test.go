@@ -1,0 +1,72 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+)
+
+func buildChain3(t *testing.T, name string, reversed bool, label string) *Graph {
+	t.Helper()
+	b := NewBuilder(name)
+	ids := b.AddNodes(3)
+	if label != "" {
+		b.SetLabel(ids[1], label)
+	}
+	if reversed {
+		b.AddEdge(ids[1], ids[2])
+		b.AddEdge(ids[0], ids[1])
+	} else {
+		b.AddEdge(ids[0], ids[1])
+		b.AddEdge(ids[1], ids[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// TestAppendCanonicalWordsLayout pins the exact word layout the cache
+// fingerprint depends on: node count, edge count, then each edge packed
+// as u<<32|v in u-ascending (Build-sorted) order.
+func TestAppendCanonicalWordsLayout(t *testing.T) {
+	g := buildChain3(t, "chain3", false, "")
+	got := g.AppendCanonicalWords(nil)
+	want := []uint64{3, 2, 0<<32 | 1, 1<<32 | 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendCanonicalWords = %v, want %v", got, want)
+	}
+	// Appends to dst rather than replacing it.
+	got = g.AppendCanonicalWords([]uint64{99})
+	if !reflect.DeepEqual(got, append([]uint64{99}, want...)) {
+		t.Errorf("AppendCanonicalWords with prefix = %v", got)
+	}
+}
+
+// TestAppendCanonicalWordsInvariance: the words are a function of the
+// structure only — edge insertion order, graph name and node labels must
+// not show through.
+func TestAppendCanonicalWordsInvariance(t *testing.T) {
+	base := buildChain3(t, "a", false, "").AppendCanonicalWords(nil)
+	if got := buildChain3(t, "b (different name)", true, "mid").AppendCanonicalWords(nil); !reflect.DeepEqual(got, base) {
+		t.Errorf("cosmetic differences changed the canonical words: %v vs %v", got, base)
+	}
+}
+
+// TestAppendCanonicalWordsDistinguishes: structurally different graphs
+// with equal node/edge counts produce different words.
+func TestAppendCanonicalWordsDistinguishes(t *testing.T) {
+	chain := buildChain3(t, "chain", false, "").AppendCanonicalWords(nil)
+
+	b := NewBuilder("fork")
+	ids := b.AddNodes(3)
+	b.AddEdge(ids[0], ids[1])
+	b.AddEdge(ids[0], ids[2])
+	fork, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := fork.AppendCanonicalWords(nil); reflect.DeepEqual(got, chain) {
+		t.Errorf("chain and fork share canonical words: %v", got)
+	}
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// witness traces stop being run-to-run deterministic (see DESIGN.md
 	// §6). mppexp -async sets it.
 	Async bool
+	// Cache, when non-nil, memoizes every exact-solver call behind its
+	// instance fingerprint (opt.SolveCached): experiments sharing
+	// instances — and repeated suite runs against a file-backed cache —
+	// skip re-searching. mppexp -cache sets it.
+	Cache *opt.SolveCache
 }
 
 // solver applies the config's solver-wide toggles (currently just the
@@ -401,7 +406,7 @@ func exactIn(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, def
 // brackets printed from weaker-mode or early-stopped runs don't start
 // from a needlessly loose floor.
 func exactInCfg(ctx context.Context, cfg Config, t *Table, in *pebble.Instance, ocfg opt.Config) (*opt.Result, bool, error) {
-	res, err := opt.ExactWith(ctx, in, cfg.solver(ocfg))
+	res, err := opt.SolveCached(ctx, in, cfg.solver(ocfg), cfg.Cache)
 	if err != nil {
 		if opt.IsPartial(err) {
 			raiseLowerBound(res, in)

@@ -182,6 +182,15 @@ func (t *Table) rehash(newSize int) {
 	}
 }
 
+// ArenaBytes reports the heap bytes retained by the table's key arena
+// and slot array — capacities, not live lengths, since capacity is what
+// a pooled table keeps pinned between uses. The solver pool's oversize
+// guard (internal/opt) reads this to decide whether a recycled table is
+// worth keeping.
+func (t *Table) ArenaBytes() int64 {
+	return int64(cap(t.keys))*8 + int64(len(t.slots))*4
+}
+
 // Reset drops every key while keeping the allocated capacity, so a table
 // can be reused across searches without reallocating.
 func (t *Table) Reset() {

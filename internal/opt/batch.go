@@ -33,6 +33,50 @@ import (
 // solverPool recycles per-shard solver arenas across searches.
 var solverPool sync.Pool
 
+// maxPooledArenaBytes caps the retained arena capacity of a pooled
+// solver. Arenas only ever grow (Reset keeps capacity — that is the
+// point of the pool), so without a cap one huge budget-bounded search
+// would pin its worst-case state table, queue and parent arrays on some
+// pooled solver for the rest of the process, re-offered to every later
+// solve however small. A solver past the cap is dropped on release and
+// the next acquire starts fresh. 8 MiB keeps every benchmark-sized
+// search pooled while letting million-state searches be reclaimed.
+// A variable, not a const, so pool_test.go can lower it.
+var maxPooledArenaBytes = int64(8 << 20)
+
+// Per-element sizes for arenaBytes, matching the arena element types.
+const (
+	sliceHdrBytes   = 24 // slice header retained per held buffer
+	bqEntryBytes    = 16 // bqEntry: int32 idx + int64 g, padded
+	parentEdgeBytes = 40 // parentEdge: stateRef + Move header
+)
+
+// arenaBytes estimates the capacity this solver's recycled arenas pin:
+// the state table, the per-state arrays, the bucket queue and the
+// dominance index. Scratch buffers and cross-shard batches are O(n·k)
+// and excluded. An estimate is all the retention cap needs.
+func (s *solver) arenaBytes() int64 {
+	var b int64
+	if t, ok := s.tab.(*hashtab.Table); ok {
+		b += t.ArenaBytes()
+	}
+	b += int64(cap(s.dist))*8 + sliceHdrBytes
+	b += int64(cap(s.parent))*parentEdgeBytes + sliceHdrBytes
+	b += int64(cap(s.expandedMark)) + sliceHdrBytes
+	b += int64(cap(s.settledMark)) + sliceHdrBytes
+	b += int64(cap(s.worklist))*bqEntryBytes + sliceHdrBytes
+	b += int64(cap(s.waveExp))*4 + sliceHdrBytes
+	for _, bucket := range s.bq.buckets {
+		b += int64(cap(bucket))*bqEntryBytes + sliceHdrBytes
+	}
+	b += int64(cap(s.bq.buckets)) * sliceHdrBytes
+	if s.dom != nil {
+		b += int64(cap(s.dom.slots))*4 + int64(cap(s.dom.keys))*8
+		b += int64(cap(s.dom.next))*4 + int64(cap(s.dom.state))*4
+	}
+	return b
+}
+
 // acquireSolver returns a recycled solver when pooling is on, a fresh
 // one otherwise.
 func acquireSolver(pooled bool) *solver {
@@ -101,7 +145,9 @@ func (s *solver) bind(e *engine, shard int32, newTab func() hashtab.Index, poole
 // engines). Only called after run() fully assembled its Result, so no
 // live memory escapes into the pool. References that would pin the
 // instance or context alive are dropped; the arenas keep their capacity
-// — that is the point.
+// — that is the point — except past maxPooledArenaBytes, where the
+// whole solver is dropped so one oversized search cannot pin its
+// worst-case arenas on every later solve (pool_test.go regression).
 func (e *engine) release() {
 	if !e.pooled {
 		return
@@ -111,6 +157,9 @@ func (e *engine) release() {
 		s.in, s.ctx = nil, nil
 		s.eng = nil
 		s.topo = nil
+		if s.arenaBytes() > maxPooledArenaBytes {
+			continue
+		}
 		solverPool.Put(s)
 	}
 }

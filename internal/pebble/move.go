@@ -122,6 +122,25 @@ func (s *Strategy) Append(moves ...Move) { s.Moves = append(s.Moves, moves...) }
 // Len returns the number of moves.
 func (s *Strategy) Len() int { return len(s.Moves) }
 
+// Clone returns a deep copy of the strategy: mutating the copy's moves
+// or action slices cannot affect s (and vice versa). A nil strategy
+// clones to nil. The solve cache serves clones so a cached witness is
+// never aliased by two callers.
+func (s *Strategy) Clone() *Strategy {
+	if s == nil {
+		return nil
+	}
+	out := &Strategy{Moves: make([]Move, len(s.Moves))}
+	for i, m := range s.Moves {
+		cm := Move{Kind: m.Kind}
+		if len(m.Actions) > 0 {
+			cm.Actions = append([]Action(nil), m.Actions...)
+		}
+		out.Moves[i] = cm
+	}
+	return out
+}
+
 // Concat returns a new strategy running s then t.
 func (s *Strategy) Concat(t *Strategy) *Strategy {
 	out := &Strategy{Moves: make([]Move, 0, len(s.Moves)+len(t.Moves))}

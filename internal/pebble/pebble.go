@@ -46,6 +46,19 @@ type Params struct {
 	OneShot bool
 }
 
+// AppendWords appends the packed identity of the parameters — K, R, G,
+// ComputeCost, and the one-shot bit, one word each — to dst and returns
+// the extended slice. Two Params values encode identically iff they are
+// ==, making the words usable as the parameter half of an instance
+// fingerprint (see internal/cache); the layout mirrors Config.AppendWords.
+func (p Params) AppendWords(dst []uint64) []uint64 {
+	oneShot := uint64(0)
+	if p.OneShot {
+		oneShot = 1
+	}
+	return append(dst, uint64(p.K), uint64(p.R), uint64(p.G), uint64(p.ComputeCost), oneShot)
+}
+
 // MPP returns the paper's standard parameterization: compute cost 1,
 // recomputation allowed.
 func MPP(k, r, g int) Params { return Params{K: k, R: r, G: g, ComputeCost: 1} }

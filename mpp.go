@@ -36,6 +36,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/cache"
 	"repro/internal/dag"
 	"repro/internal/exp"
 	"repro/internal/opt"
@@ -89,6 +90,17 @@ type (
 	// BatchResult pairs one instance's OptResult with its solve error in
 	// a SolveBatch result set.
 	BatchResult = opt.BatchResult
+	// SolveCache memoizes exact-solver results behind canonical instance
+	// fingerprints (DAG structure + Params + the result-affecting config
+	// subset); pass one to SolveCached/SolveBatchCached. See
+	// internal/cache for the key-derivation and partial-result policy.
+	SolveCache = opt.SolveCache
+	// CacheOptions sizes a SolveCache (entry/byte bounds) and optionally
+	// points it at a directory for the file-backed store.
+	CacheOptions = cache.Options
+	// CacheStats is a snapshot of a SolveCache's hit/miss/eviction/bytes
+	// counters.
+	CacheStats = cache.Stats
 )
 
 // Engine modes for SearchConfig.Mode.
@@ -129,6 +141,25 @@ func ExactWith(ctx context.Context, in *Instance, cfg SearchConfig) (*OptResult,
 // results come back in input order, one per instance.
 func SolveBatch(ctx context.Context, ins []*Instance, cfg SearchConfig) []BatchResult {
 	return opt.SolveBatch(ctx, ins, cfg)
+}
+
+// NewSolveCache returns an exact-solve memoization cache under the
+// given options (zero-value CacheOptions: memory-only, default bounds).
+func NewSolveCache(opts CacheOptions) *SolveCache { return opt.NewSolveCache(opts) }
+
+// SolveCached is ExactWith through a cache: repeat solves of the same
+// instance under the same result-affecting config return the memoized
+// result in microseconds instead of re-searching. Only deterministic,
+// non-deadline-stopped results are cached; a nil cache degrades to a
+// plain ExactWith.
+func SolveCached(ctx context.Context, in *Instance, cfg SearchConfig, sc *SolveCache) (*OptResult, error) {
+	return opt.SolveCached(ctx, in, cfg, sc)
+}
+
+// SolveBatchCached is SolveBatch through a cache: repeated instances
+// inside or across batches hit instead of re-searching.
+func SolveBatchCached(ctx context.Context, ins []*Instance, cfg SearchConfig, sc *SolveCache) []BatchResult {
+	return opt.SolveBatchCached(ctx, ins, cfg, sc)
 }
 
 // ZeroIO decides whether g has a zero-I/O pebbling with r red pebbles

@@ -10,6 +10,7 @@
 #   BENCHTIME=5x scripts/bench.sh      # longer go-test benches
 #   WORKERS=1,2,4,8 scripts/bench.sh   # sharded-solver sweep widths
 #   MODES=deterministic scripts/bench.sh  # skip the async engine rows
+#   CACHE=false scripts/bench.sh       # skip the solve-cache hit rows
 #
 # On a single-CPU machine (or GOMAXPROCS=1) a multi-width WORKERS sweep
 # measures sharding overhead, not speedup: mppbench prints a loud
@@ -33,4 +34,6 @@ echo "== mppbench -> $out =="
 # vs the -w1 baseline) and MODES which engines it runs (deterministic
 # states stay byte-identical across the sweep and are diff-gated at
 # +20%; async rows are timing-dependent and gated at +50%).
-go run ./cmd/mppbench ${QUICK:+-quick} -workers "${WORKERS:-1,2,4}" -modes "${MODES:-deterministic,async}" -out "$out" ${prev:+-diff "$prev"}
+# CACHE gates the solve-cache hit-latency rows (cache group), -diff-
+# gated on ns/op with a 10x tolerance rather than states expanded.
+go run ./cmd/mppbench ${QUICK:+-quick} -workers "${WORKERS:-1,2,4}" -modes "${MODES:-deterministic,async}" -cache="${CACHE:-true}" -out "$out" ${prev:+-diff "$prev"}

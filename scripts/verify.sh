@@ -41,6 +41,10 @@ echo "== go test -race =="
 # under -race). sched and exp only fan out coarse-grained
 # portfolio/experiment goroutines and stay -short.
 go test -race ./internal/opt/
+# The solve cache is a shared mutex-guarded LRU hit by concurrent
+# solvers (and its fingerprint property tests are zoo-wide), so it runs
+# its full suite under -race too.
+go test -race ./internal/cache/
 go test -race -short ./internal/sched/ ./internal/exp/
 
 echo "== bench smoke (1 iteration each) =="
