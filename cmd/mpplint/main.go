@@ -8,6 +8,7 @@
 //	mpplint ./internal/opt     # lint one package
 //	mpplint -json ./...        # machine-readable findings
 //	mpplint -list              # describe the analyzers and exit
+//	mpplint -run a,b ./...     # run only the named analyzers
 //
 // Suppress a finding with a trailing or preceding comment carrying a
 // mandatory reason:
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -29,15 +31,29 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: the full suite)")
 	flag.Parse()
 
 	if *list {
 		analyzers := lint.Analyzers()
 		sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	suite := lint.Analyzers()
+	if *run != "" {
+		suite = suite[:0]
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fail(fmt.Errorf("unknown analyzer %q (see mpplint -list)", name))
+			}
+			suite = append(suite, a)
+		}
 	}
 
 	patterns := flag.Args()
@@ -60,7 +76,7 @@ func main() {
 		}
 		pkgs = append(pkgs, got...)
 	}
-	diags, err := lint.Run(pkgs, lint.Analyzers())
+	diags, err := lint.Run(pkgs, suite)
 	if err != nil {
 		fail(err)
 	}

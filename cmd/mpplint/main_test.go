@@ -1,0 +1,107 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mpplint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runLint executes the built binary and returns its exit code along
+// with the captured streams.
+func runLint(t *testing.T, bin string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestExitCodes pins the documented exit-code contract at the process
+// level: 0 for a clean package, 1 when findings are printed, 2 for
+// usage errors — the values scripts/verify.sh and CI branch on.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+
+	// Clean library package: exit 0, no output.
+	code, out, stderr := runLint(t, bin, "../../internal/bitset")
+	if code != 0 || out != "" {
+		t.Errorf("clean package: exit %d stdout %q (want 0, empty)\nstderr: %s", code, out, stderr)
+	}
+
+	// Seeded-violation testdata: exit 1 and the findings on stdout. The
+	// -run narrowing keeps the test pinned to one analyzer's findings.
+	code, out, _ = runLint(t, bin, "-run", "errcmp", "../../internal/lint/testdata/src/errcmp")
+	if code != 1 {
+		t.Errorf("errcmp testdata: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "errcmp:") {
+		t.Errorf("errcmp testdata: stdout %q lacks errcmp findings", out)
+	}
+
+	// Usage errors: unknown analyzer name and unknown flag, both exit 2.
+	code, _, stderr = runLint(t, bin, "-run", "nosuch", "../../internal/bitset")
+	if code != 2 || !strings.Contains(stderr, `unknown analyzer "nosuch"`) {
+		t.Errorf("-run nosuch: exit %d stderr %q (want 2 naming the analyzer)", code, stderr)
+	}
+	code, _, _ = runLint(t, bin, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+// TestListNamesFullSuite: -list must describe all ten analyzers, sorted,
+// and exit 0 — the shape scripts and docs rely on.
+func TestListNamesFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	code, out, stderr := runLint(t, bin, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d\nstderr: %s", code, stderr)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			names = append(names, fields[0])
+		}
+	}
+	want := []string{
+		"atomicfield", "ctxthread", "detcheck", "errcmp", "goroutinecheck",
+		"hotalloc", "lockguard", "paniccheck", "poolcheck", "verdictcheck",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("-list: got %d analyzers %v, want %d", len(names), names, len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("-list[%d] = %s, want %s", i, names[i], w)
+		}
+	}
+}

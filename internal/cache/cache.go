@@ -93,15 +93,18 @@ type node struct {
 // runs under the lock — it only happens on memory misses, which are off
 // the repeat-solve hot path by definition.
 type Cache struct {
-	mu         sync.Mutex
-	m          map[Key]*node
-	head, tail *node
-	bytes      int64
+	mu sync.Mutex
+	// The LRU state below is mutable after publication and must only be
+	// touched under mu; maxEntries/maxBytes/dir/codec are set once in
+	// New and read-only afterwards.
+	m          map[Key]*node // mpp:guardedby mu
+	head, tail *node         // mpp:guardedby mu
+	bytes      int64         // mpp:guardedby mu
 	maxEntries int
 	maxBytes   int64
 	dir        string
 	codec      Codec
-	stats      Stats
+	stats      Stats // mpp:guardedby mu
 }
 
 // New returns an empty cache under the given options.
@@ -196,6 +199,8 @@ func (c *Cache) Stats() Stats {
 }
 
 // lookup finds k in memory and promotes it to most-recently-used.
+//
+//mpp:locked mu
 func (c *Cache) lookup(k Key) (Entry, bool) {
 	n, ok := c.m[k]
 	if !ok {
@@ -207,6 +212,8 @@ func (c *Cache) lookup(k Key) (Entry, bool) {
 }
 
 // insert adds or replaces k in memory and evicts down to the bounds.
+//
+//mpp:locked mu
 func (c *Cache) insert(k Key, e Entry) {
 	if n, ok := c.m[k]; ok {
 		c.bytes += e.Size - n.ent.Size
@@ -231,6 +238,7 @@ func (c *Cache) insert(k Key, e Entry) {
 	}
 }
 
+//mpp:locked mu
 func (c *Cache) pushFront(n *node) {
 	n.prev, n.next = nil, c.head
 	if c.head != nil {
@@ -242,6 +250,7 @@ func (c *Cache) pushFront(n *node) {
 	}
 }
 
+//mpp:locked mu
 func (c *Cache) unlink(n *node) {
 	if n.prev != nil {
 		n.prev.next = n.next
@@ -269,6 +278,8 @@ func (c *Cache) blobPath(k Key) string {
 
 // storeDisk writes the entry's blob, best-effort: failures count into
 // DiskErrors and the in-memory store proceeds regardless.
+//
+//mpp:locked mu
 func (c *Cache) storeDisk(k Key, e Entry) {
 	if c.dir == "" {
 		return
@@ -307,6 +318,8 @@ func (c *Cache) storeDisk(k Key, e Entry) {
 // loadDisk reads and decodes k's blob, promoting it into memory on
 // success. A missing blob is a plain miss; anything malformed counts
 // into DiskErrors and degrades to a miss.
+//
+//mpp:locked mu
 func (c *Cache) loadDisk(k Key) (Entry, bool) {
 	if c.dir == "" {
 		return Entry{}, false

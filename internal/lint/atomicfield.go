@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// AtomicField enforces the all-or-nothing rule of sync/atomic: a struct
+// field that is accessed atomically anywhere in the module must be
+// accessed atomically at every site. The async engine's quiescence
+// protocol (busy/inflight/activity/doneFlag) and the shared
+// incumbent/budget/stop words are exactly such fields — one plain read
+// slipped in by a refactor is a data race the type system cannot see
+// and -race only catches on the schedules it happens to run.
+//
+// Exemptions, both deliberate:
+//
+//   - Composite-literal keys (`&engine{incumbent: math.MaxInt64}`):
+//     construction precedes publication, so keyed initialization is not
+//     an access site at all.
+//   - Sites in _test.go files: tests legitimately inspect quiescent
+//     state after the goroutines they launched have been joined.
+//
+// The check is module-wide (RunModule): the atomic sites may live in a
+// different package than the plain ones, which is precisely why the
+// per-package analyzers could never express it.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be " +
+		"accessed atomically at every site, module-wide; plain " +
+		"reads/writes of such fields are findings",
+	RunModule: runAtomicField,
+}
+
+func runAtomicField(mp *ModulePass) error {
+	facts := mp.Facts
+	keys := make([]int, 0, len(facts.Fields))
+	for pos := range facts.Fields {
+		keys = append(keys, int(pos))
+	}
+	sort.Ints(keys)
+	for _, pos := range keys {
+		ff := facts.Fields[token.Pos(pos)]
+		if ff.Atomic == 0 {
+			continue
+		}
+		for _, site := range ff.Sites {
+			if site.Kind == AccessAtomic || site.Test {
+				continue
+			}
+			verb := "read"
+			if site.Kind == AccessWrite {
+				verb = "write"
+			}
+			mp.Reportf(site.Pkg, site.Pos,
+				"plain %s of %s, which is accessed with sync/atomic elsewhere: every access must be atomic",
+				verb, ff.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The lint gate's output feeds diffs, golden files and CI logs, so it
+// must be byte-identical run to run — independent of package load
+// order, map iteration inside the analyzers, and the interleaving of
+// per-package and module-wide passes.
+
+// runSuiteText lints the given packages and renders the text report.
+func runSuiteText(t *testing.T, pkgs []*Package) string {
+	t.Helper()
+	diags, err := Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, diags, ""); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+// TestOutputDeterministic runs the full suite over a finding-rich
+// package set in forward, reversed, and rotated order, twice each: all
+// six reports must be byte-identical.
+func TestOutputDeterministic(t *testing.T) {
+	names := []string{"atomicfield", "lockguard", "poolcheck", "goroutinecheck", "detcheck", "errcmp"}
+	var pkgs []*Package
+	for _, n := range names {
+		pkgs = append(pkgs, loadTestdata(t, n))
+	}
+
+	reversed := make([]*Package, len(pkgs))
+	for i, p := range pkgs {
+		reversed[len(pkgs)-1-i] = p
+	}
+	rotated := append(append([]*Package{}, pkgs[2:]...), pkgs[:2]...)
+
+	ref := runSuiteText(t, pkgs)
+	if ref == "" {
+		t.Fatal("expected findings from the testdata packages, got a clean report")
+	}
+	for i, order := range [][]*Package{pkgs, reversed, rotated} {
+		for round := 0; round < 2; round++ {
+			if got := runSuiteText(t, order); got != ref {
+				t.Errorf("order %d round %d: output differs from reference\n--- ref ---\n%s--- got ---\n%s", i, round, ref, got)
+			}
+		}
+	}
+}

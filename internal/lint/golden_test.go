@@ -127,8 +127,13 @@ func runGolden(t *testing.T, name string) {
 	}
 }
 
-func TestGoldenCtxThread(t *testing.T)    { runGolden(t, "ctxthread") }
-func TestGoldenErrCmp(t *testing.T)       { runGolden(t, "errcmp") }
-func TestGoldenPanicCheck(t *testing.T)   { runGolden(t, "paniccheck") }
-func TestGoldenVerdictCheck(t *testing.T) { runGolden(t, "verdictcheck") }
-func TestGoldenHotAlloc(t *testing.T)     { runGolden(t, "hotalloc") }
+func TestGoldenCtxThread(t *testing.T)      { runGolden(t, "ctxthread") }
+func TestGoldenErrCmp(t *testing.T)         { runGolden(t, "errcmp") }
+func TestGoldenPanicCheck(t *testing.T)     { runGolden(t, "paniccheck") }
+func TestGoldenVerdictCheck(t *testing.T)   { runGolden(t, "verdictcheck") }
+func TestGoldenHotAlloc(t *testing.T)       { runGolden(t, "hotalloc") }
+func TestGoldenAtomicField(t *testing.T)    { runGolden(t, "atomicfield") }
+func TestGoldenLockGuard(t *testing.T)      { runGolden(t, "lockguard") }
+func TestGoldenPoolCheck(t *testing.T)      { runGolden(t, "poolcheck") }
+func TestGoldenGoroutineCheck(t *testing.T) { runGolden(t, "goroutinecheck") }
+func TestGoldenDetCheck(t *testing.T)       { runGolden(t, "detcheck") }

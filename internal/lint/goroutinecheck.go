@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineCheck requires every goroutine launched by library code to
+// carry a termination witness — syntactic evidence that it stops. The
+// PR-4 engine leaked result-sender goroutines for exactly the lack of
+// one: a worker blocked on an unbuffered send with nobody left to
+// receive lives until process exit, pinning its whole closed-set. The
+// accepted witnesses, any one of which suffices in the goroutine body:
+//
+//   - a sync.WaitGroup.Done call (the body is join-tracked);
+//   - a select or receive involving ctx.Done() or a channel whose name
+//     says stop/done/quit (the body is cancellable);
+//   - ranging over a channel (the body drains until close).
+//
+// The body is the go statement's function literal, or the declaration
+// of the named function it calls, resolved through the facts layer —
+// so `go e.worker(i)` is checked against the worker's declaration in
+// whatever package declares it. Dynamically dispatched launches
+// (interface methods, function values) have no resolvable body and are
+// findings themselves: if the launch is dynamic, the witness cannot be
+// audited. Package main and _test.go files are exempt — both have
+// process- or test-bounded lifetimes enforced from outside.
+var GoroutineCheck = &Analyzer{
+	Name: "goroutinecheck",
+	Doc: "every go statement in library code needs a termination " +
+		"witness: WaitGroup.Done, a ctx.Done()/stop-channel select or " +
+		"receive, or a channel-range drain in the goroutine body",
+	Run: runGoroutineCheck,
+}
+
+func runGoroutineCheck(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt resolves the goroutine body and looks for a witness.
+func checkGoStmt(pass *Pass, gs *ast.GoStmt) {
+	body, bodyInfo := goroutineBody(pass, gs)
+	if body == nil {
+		pass.Reportf(gs.Pos(), "go statement launches a dynamically resolved function: its termination cannot be audited, launch a literal or named function instead")
+		return
+	}
+	if hasTerminationWitness(bodyInfo, body) {
+		return
+	}
+	pass.Reportf(gs.Pos(), "go statement has no termination witness (WaitGroup.Done, ctx.Done()/stop-channel select, or channel-range drain) in the goroutine body")
+}
+
+// goroutineBody returns the launched body and the types.Info it was
+// checked under: the literal's body for `go func(){...}()`, the
+// declaration's body (possibly in another package) for `go f(...)`.
+func goroutineBody(pass *Pass, gs *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, pass.Pkg.Info
+	}
+	fn := calleeFunc(pass.Pkg.Info, gs.Call)
+	if fn == nil {
+		return nil, nil
+	}
+	fact := pass.Facts.Funcs[fn.FullName()]
+	if fact == nil || fact.Decl.Body == nil {
+		return nil, nil
+	}
+	return fact.Decl.Body, fact.Pkg.Info
+}
+
+// hasTerminationWitness scans a goroutine body for any accepted witness.
+func hasTerminationWitness(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Done" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChannel(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopChannel reports whether e is a cancellation-shaped channel
+// expression: a ctx.Done()-style call or a channel whose rendered name
+// contains stop, done, quit or cancel.
+func isStopChannel(info *types.Info, e ast.Expr) bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true // ctx.Done() or equivalent
+		}
+		return false
+	}
+	name := strings.ToLower(exprPath(e))
+	for _, w := range []string{"stop", "done", "quit", "cancel"} {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}

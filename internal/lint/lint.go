@@ -26,7 +26,12 @@ import (
 	"strings"
 )
 
-// An Analyzer is one named static check.
+// An Analyzer is one named static check. Exactly one of Run and
+// RunModule is set: Run inspects one package at a time (with the merged
+// facts available for cross-package lookups), RunModule runs once over
+// the whole loaded package set — the shape for invariants that only
+// exist module-wide, like atomicfield's "atomic somewhere means atomic
+// everywhere" and detcheck's call-graph reachability.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore pragmas.
 	Name string
@@ -34,6 +39,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunModule inspects the whole package set via the merged facts.
+	RunModule func(*ModulePass) error
 }
 
 // A Diagnostic is one finding at one source position.
@@ -48,10 +55,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// A Pass connects one analyzer run to one package.
+// A Pass connects one analyzer run to one package. Facts carries the
+// whole-program fact set (pass 1) so package-local analyzers can
+// resolve cross-package references (e.g. goroutinecheck following a
+// `go pkg.Worker()` call into its declaring package).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *Facts
 
 	diags *[]Diagnostic
 }
@@ -70,9 +81,33 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
 }
 
+// A ModulePass connects one module-wide analyzer run to the whole
+// loaded package set.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Facts    *Facts
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through the package the
+// site belongs to (all packages of one loader share a FileSet, but the
+// site's package keeps the attribution explicit).
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full suite in registration (alphabetical) order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxThread, ErrCmp, HotAlloc, PanicCheck, VerdictCheck}
+	return []*Analyzer{
+		AtomicField, CtxThread, DetCheck, ErrCmp, GoroutineCheck,
+		HotAlloc, LockGuard, PanicCheck, PoolCheck, VerdictCheck,
+	}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -85,24 +120,43 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run executes every analyzer over every package, filters the findings
-// through `//lint:ignore` pragmas, and returns them sorted by position.
-// Malformed or unknown-analyzer pragmas are themselves reported under the
-// reserved analyzer name "pragma".
+// Run executes every analyzer over every package — pass 1 collects the
+// whole-program facts, pass 2 runs package-local analyzers per package
+// and module-wide analyzers once — filters the findings through
+// `//lint:ignore` pragmas, and returns them sorted by (file, line, col,
+// analyzer, message). Malformed or unknown-analyzer pragmas are
+// themselves reported under the reserved analyzer name "pragma".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := CollectFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, diags: &diags}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		pragmas, bad := collectPragmas(pkg, analyzers)
-		pkgDiags = append(filterSuppressed(pkgDiags, pragmas), bad...)
-		diags = append(diags, pkgDiags...)
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Facts: facts, diags: &diags}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("lint: %s (module-wide): %w", a.Name, err)
+		}
+	}
+	var pragmas []pragma
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		p, b := collectPragmas(pkg, analyzers)
+		pragmas = append(pragmas, p...)
+		bad = append(bad, b...)
+	}
+	diags = append(filterSuppressed(diags, pragmas), bad...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -114,7 +168,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }

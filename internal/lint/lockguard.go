@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces mutex discipline on annotated fields. A struct
+// field carrying `// mpp:guardedby mu` (mu a sibling field of type
+// sync.Mutex or sync.RWMutex) may only be accessed while mu is held on
+// the syntactic path — a `mu.Lock()` earlier in the function with no
+// intervening non-deferred `mu.Unlock()` — and every `Lock` must pair
+// with an `Unlock` (deferred or positional) with no `return` escaping
+// the critical section.
+//
+// Functions that are called with the lock already held document that
+// contract with `//mpp:locked mu` on their declaration; inside them mu
+// counts as held throughout. (Call sites of such functions are not
+// verified — the annotation is a documented trust point, the same
+// trade-off //mpp:hotpath makes by not following callees.)
+//
+// The analysis is syntactic and positional, not path-sensitive: a Lock
+// in one branch does not cover an access in a sibling branch, and the
+// cache-quiescence pattern ("all workers joined, locks unnecessary")
+// needs an explicit `//lint:ignore lockguard <reason>` — which is the
+// point: every lock-free access to a guarded field should carry its
+// proof in writing. Composite-literal keys are exempt (construction
+// precedes publication), as are sites in _test.go files (tests inspect
+// quiescent state).
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated mpp:guardedby mu may only be accessed with " +
+		"mu held on the syntactic path; Lock must pair with Unlock on " +
+		"every return path",
+	Run: runLockGuard,
+}
+
+// lockEvent is one mutex operation inside a function body.
+type lockEvent struct {
+	path     string // rendered receiver chain, e.g. "c.mu"
+	pos      token.Pos
+	lock     bool // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+// mutexMethods maps the sync mutex method set to lock/unlock.
+var mutexMethods = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.Mutex).Unlock":    false,
+	"(*sync.RWMutex).Unlock":  false,
+	"(*sync.RWMutex).RUnlock": false,
+}
+
+func runLockGuard(pass *Pass) error {
+	reportBadAnnotations(pass)
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// reportBadAnnotations flags mpp:guardedby annotations (declared in
+// this package) naming no sibling mutex field.
+func reportBadAnnotations(pass *Pass) {
+	var bad []*FieldFact
+	for _, ff := range pass.Facts.Fields {
+		if ff.DeclPkg == pass.Pkg && ff.GuardedBy != "" && !ff.GuardKnown {
+			bad = append(bad, ff)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].DeclPos < bad[j].DeclPos })
+	for _, ff := range bad {
+		pass.Reportf(ff.DeclPos, "mpp:guardedby on %s names %q, which is not a sibling sync.Mutex/RWMutex field", ff.Name, ff.GuardedBy)
+	}
+}
+
+// checkLockedFunc evaluates one function: every guarded-field access
+// must be under its mutex, and every Lock must be released.
+func checkLockedFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	events, returns := collectLockEvents(info, fd.Body)
+	heldPaths := lockedAnnotationPaths(fd)
+
+	// Guarded accesses, in source order.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !obj.IsField() {
+			return true
+		}
+		ff := pass.Facts.Fields[obj.Pos()]
+		if ff == nil || ff.GuardedBy == "" || !ff.GuardKnown {
+			return true
+		}
+		base := exprPath(sel.X)
+		muPath := base + "." + ff.GuardedBy
+		if base == "" {
+			muPath = "<expr>." + ff.GuardedBy
+		}
+		if heldPaths[muPath] || heldAt(events, muPath, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s (mpp:guardedby %s) accessed without %s held", ff.Name, ff.GuardedBy, muPath)
+		return true
+	})
+
+	checkLockPairing(pass, fd, events, returns)
+}
+
+// lockedAnnotationPaths expands a `//mpp:locked mu1 mu2` directive into
+// the receiver-qualified mutex paths held throughout the function.
+func lockedAnnotationPaths(fd *ast.FuncDecl) map[string]bool {
+	args, ok := directiveArgs(fd.Doc, lockedDirective)
+	if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	out := make(map[string]bool)
+	for _, mu := range strings.Fields(args) {
+		out[recv+"."+mu] = true
+	}
+	return out
+}
+
+// collectLockEvents gathers the body's mutex Lock/Unlock calls (with
+// defer attribution) and its return statements, each in source order.
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) ([]lockEvent, []token.Pos) {
+	var events []lockEvent
+	var returns []token.Pos
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			isLock, known := mutexMethods[fn.FullName()]
+			if !known {
+				return true
+			}
+			events = append(events, lockEvent{
+				path:     exprPath(sel.X),
+				pos:      n.Pos(),
+				lock:     isLock,
+				deferred: deferredCalls[n],
+			})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	sort.Slice(returns, func(i, j int) bool { return returns[i] < returns[j] })
+	return events, returns
+}
+
+// heldAt reports whether muPath is held at pos under the positional
+// model: some Lock before pos with no non-deferred Unlock in between.
+func heldAt(events []lockEvent, muPath string, pos token.Pos) bool {
+	held := false
+	for _, ev := range events {
+		if ev.pos >= pos || ev.path != muPath {
+			continue
+		}
+		if ev.lock {
+			held = true
+		} else if !ev.deferred {
+			held = false
+		}
+	}
+	return held
+}
+
+// checkLockPairing verifies, per mutex path, that a taken lock is
+// released: a deferred Unlock covers everything after its registration;
+// otherwise a positional Unlock must follow, with no return statement
+// inside the open critical section.
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl, events []lockEvent, returns []token.Pos) {
+	paths := make(map[string]bool)
+	for _, ev := range events {
+		paths[ev.path] = true
+	}
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, path := range sorted {
+		held, deferCover := false, false
+		var lastLock token.Pos
+		hasUnlock := false
+		i := 0 // next unprocessed return
+		advance := func(upto token.Pos) {
+			for i < len(returns) && returns[i] < upto {
+				if held && !deferCover {
+					pass.Reportf(returns[i], "return with %s held: release it or defer the Unlock", path)
+				}
+				i++
+			}
+		}
+		for _, ev := range events {
+			if ev.path != path {
+				continue
+			}
+			advance(ev.pos)
+			if ev.lock {
+				held, lastLock = true, ev.pos
+			} else {
+				hasUnlock = true
+				if ev.deferred {
+					deferCover = true
+				} else {
+					held = false
+				}
+			}
+		}
+		advance(token.Pos(1 << 40))
+		if held && !deferCover && !hasUnlock {
+			pass.Reportf(lastLock, "%s.Lock() in %s has no matching Unlock", path, fd.Name.Name)
+		}
+	}
+}

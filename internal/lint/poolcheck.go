@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck tracks the lifecycle of sync.Pool objects, the shape behind
+// the batch-arena retention bug: an object taken with Get must either
+// go back with Put, be handed off (returned, stored, sent, or passed to
+// a callee that owns it from then on), or be dropped explicitly with
+// `_ =`. And once an object has been Put, it belongs to the pool again
+// — any later use of the variable is a use-after-free the runtime will
+// happily turn into cross-request data corruption.
+//
+// The tracking is per-function and syntactic: a Get bound to a local is
+// followed through that local's uses; a Get whose result immediately
+// escapes (return value, call argument, field store) transfers
+// ownership and is not followed further. Aliases taken before the Put
+// (`buf := x.data; pool.Put(x); use(buf)`) are beyond a syntactic
+// analysis — the defense there is Put-side scrubbing, which this
+// analyzer cannot check and the pool helpers must guarantee. Deferred
+// Puts run at function exit, so they satisfy the Put requirement
+// without making every later use a use-after-Put. Sites in _test.go
+// files are exempt (a test leaking a pooled object costs recycling,
+// not correctness).
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "every sync.Pool.Get result must be Put back, handed off, or " +
+		"explicitly dropped; no use of the variable may follow the Put",
+	Run: runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPoolMethod(pass.Pkg.Info, call, "Get") {
+				return true
+			}
+			checkGet(pass, par, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolMethod reports whether call invokes (*sync.Pool).<name>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "(*sync.Pool)."+name
+}
+
+// checkGet classifies where one Get's result lands and, when it is
+// bound to a local, verifies the local's lifecycle.
+func checkGet(pass *Pass, par map[ast.Node]ast.Node, get *ast.CallExpr) {
+	// Climb through type assertions and parens to the consuming node.
+	n := ast.Node(get)
+	p := par[n]
+	for {
+		switch pp := p.(type) {
+		case *ast.TypeAssertExpr:
+			n, p = p, par[p]
+			continue
+		case *ast.ParenExpr:
+			n, p = p, par[p]
+			continue
+		case *ast.ExprStmt:
+			pass.Reportf(get.Pos(), "result of Pool.Get() is discarded: Put it back, bind it, or drop it with _ =")
+			return
+		case *ast.AssignStmt:
+			id := bindingIdent(pp, n)
+			if id == nil {
+				return // stored into a field/element: ownership transferred
+			}
+			if id.Name == "_" {
+				return // explicit drop
+			}
+			obj := pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Uses[id]
+			}
+			if obj != nil {
+				checkPooledLocal(pass, par, get, id, obj)
+			}
+			return
+		case *ast.ValueSpec:
+			for i, v := range pp.Values {
+				if v == n && i < len(pp.Names) {
+					if obj := pass.Pkg.Info.Defs[pp.Names[i]]; obj != nil {
+						checkPooledLocal(pass, par, get, pp.Names[i], obj)
+					}
+				}
+			}
+			return
+		default:
+			// Return value, call argument, composite-literal element,
+			// channel send, …: the result escapes immediately and the
+			// consumer owns it.
+			return
+		}
+	}
+}
+
+// bindingIdent returns the identifier as which the assignment binds
+// value, or nil when the target is not a plain identifier.
+func bindingIdent(as *ast.AssignStmt, value ast.Node) *ast.Ident {
+	for i, rhs := range as.Rhs {
+		if ast.Node(rhs) != value {
+			continue
+		}
+		lhs := as.Lhs[0]
+		if len(as.Lhs) == len(as.Rhs) {
+			lhs = as.Lhs[i]
+		}
+		id, _ := lhs.(*ast.Ident)
+		return id
+	}
+	return nil
+}
+
+// checkPooledLocal follows one Get-bound local through its enclosing
+// function: it must be Put or handed off somewhere, and never used
+// after a non-deferred Put.
+func checkPooledLocal(pass *Pass, par map[ast.Node]ast.Node, get *ast.CallExpr, bind *ast.Ident, obj types.Object) {
+	fd := enclosingFuncDecl(par, get)
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	var putEnd token.Pos // end of the first non-deferred Put, or NoPos
+	resolved := false
+	var lateUses []*ast.Ident
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[ds.Call] = true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == bind || info.Uses[id] != obj {
+			return true
+		}
+		// Climb through type assertions and parens: `return v.(*T)` is a
+		// handoff of v exactly like `return v`.
+		use := ast.Node(id)
+		p := par[use]
+		for {
+			if _, ok := p.(*ast.TypeAssertExpr); ok {
+				use, p = p, par[p]
+				continue
+			}
+			if _, ok := p.(*ast.ParenExpr); ok {
+				use, p = p, par[p]
+				continue
+			}
+			break
+		}
+		switch p := p.(type) {
+		case *ast.CallExpr:
+			if argExpr, ok := use.(ast.Expr); ok && argOf(p, argExpr) {
+				if isPoolMethod(info, p, "Put") {
+					resolved = true
+					if !deferredCalls[p] && (putEnd == token.NoPos || p.End() < putEnd) {
+						putEnd = p.End()
+					}
+				} else {
+					resolved = true // handed to a callee that owns it now
+				}
+				if putEnd != token.NoPos && id.Pos() > putEnd {
+					lateUses = append(lateUses, id)
+				}
+				return true
+			}
+		case *ast.ReturnStmt:
+			resolved = true
+		case *ast.SendStmt:
+			if p.Value == use {
+				resolved = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if ast.Node(rhs) == use {
+					resolved = true // re-aliased; the alias carries ownership
+				}
+			}
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			resolved = true
+		}
+		if putEnd != token.NoPos && id.Pos() > putEnd {
+			lateUses = append(lateUses, id)
+		}
+		return true
+	})
+
+	if !resolved {
+		pass.Reportf(get.Pos(), "%s from Pool.Get() is neither Put back nor handed off in %s", bind.Name, fd.Name.Name)
+	}
+	for _, id := range lateUses {
+		pass.Reportf(id.Pos(), "use of %s after it was Put back to the pool", id.Name)
+	}
+}
+
+// argOf reports whether e appears as a direct argument of call.
+func argOf(call *ast.CallExpr, e ast.Expr) bool {
+	for _, a := range call.Args {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Package atomictest seeds atomicfield violations: struct fields
+// accessed with sync/atomic at one site and plainly at another.
+package atomictest
+
+import "sync/atomic"
+
+// counter mixes access disciplines: n and ops are atomic fields, cold
+// is plain-only.
+type counter struct {
+	n    int64
+	ops  int64
+	cold int64
+}
+
+// Bump accesses n and ops atomically — the sites that make them atomic
+// fields module-wide.
+func (c *counter) Bump() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.ops, 1)
+}
+
+// Read reads n plainly: a data race against Bump.
+func (c *counter) Read() int64 {
+	return c.n // want "atomicfield: plain read of counter.n"
+}
+
+// Reset writes n plainly while keeping ops atomic.
+func (c *counter) Reset() {
+	c.n = 0 // want "atomicfield: plain write of counter.n"
+	atomic.StoreInt64(&c.ops, 0)
+}
+
+// Cold only ever touches cold plainly: no finding.
+func (c *counter) Cold() int64 {
+	c.cold++
+	return c.cold
+}
+
+// NewCounter initializes by keyed composite literal: construction
+// precedes publication, so this is not an access site.
+func NewCounter() *counter {
+	return &counter{n: 0, ops: 0, cold: 0}
+}

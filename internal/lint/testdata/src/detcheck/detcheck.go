@@ -1,0 +1,48 @@
+// Package dettest seeds detcheck violations: scheduling- and
+// environment-dependent constructs reachable from a deterministic root.
+package dettest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Solve is the deterministic entry point; everything it reaches is
+// checked.
+//
+//mpp:deterministic
+func Solve(xs map[int]int, a, b chan int) int {
+	total := 0
+	for k := range xs { // want "detcheck: ranges over a map in deterministic code \\(Solve is reachable"
+		total += k
+	}
+	return total + helper() + race(a, b)
+}
+
+// helper is one call deep: its hazards are attributed to Solve's root.
+func helper() int {
+	return int(time.Now().UnixNano()) + pick(3) // want "detcheck: calls time.Now in deterministic code \\(helper is reachable"
+}
+
+// pick is two calls deep: transitively reachable.
+func pick(n int) int {
+	return rand.Intn(n) // want "detcheck: calls math/rand.Intn in deterministic code \\(pick is reachable"
+}
+
+// race merges two result channels: which arrives first is the
+// scheduler's choice.
+func race(a, b chan int) int {
+	select { // want "detcheck: selects over 2 result-carrying channels in deterministic code \\(race is reachable"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// free is reachable from no root: the same hazards are allowed here.
+func free() int64 {
+	return time.Now().Unix()
+}
+
+var _ = free

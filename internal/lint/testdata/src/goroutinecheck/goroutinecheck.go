@@ -1,0 +1,65 @@
+// Package goroutinetest seeds goroutinecheck violations: goroutines
+// launched in library code with no syntactic evidence they stop.
+package goroutinetest
+
+import (
+	"context"
+	"sync"
+)
+
+// Leaky launches a sender nothing can stop: blocked forever once the
+// receiver quits.
+func Leaky(ch chan int) {
+	go func() { // want "goroutinecheck: go statement has no termination witness"
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// Dynamic launches through a function value: the body cannot be
+// resolved, so the witness cannot be audited.
+func Dynamic(f func()) {
+	go f() // want "goroutinecheck: go statement launches a dynamically resolved function"
+}
+
+// Tracked is joined through a WaitGroup.
+func Tracked(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+}
+
+// Cancellable selects on ctx.Done alongside its sends.
+func Cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// Stoppable blocks on a stop channel.
+func Stoppable(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+// Drainer launches a named function whose declaration carries the
+// witness: a channel range drains until close.
+func Drainer(in chan int) {
+	go drain(in)
+}
+
+// drain consumes in until the sender closes it.
+func drain(in chan int) {
+	for range in {
+	}
+}

@@ -1,0 +1,82 @@
+// Package locktest seeds lockguard violations around mpp:guardedby
+// fields: unguarded accesses, escaped critical sections, leaked locks
+// and a bad annotation.
+package locktest
+
+import "sync"
+
+// store guards items and count with mu; the name annotation is broken
+// on purpose (label is not a mutex field).
+type store struct {
+	mu    sync.Mutex
+	items []int // mpp:guardedby mu
+	count int   // mpp:guardedby mu
+	// mpp:guardedby label
+	name  string // want "lockguard: mpp:guardedby on store.name names \"label\""
+	label string
+}
+
+// Unlocked reads items without the mutex.
+func (s *store) Unlocked() int {
+	return len(s.items) // want "lockguard: store.items \\(mpp:guardedby mu\\) accessed without s.mu held"
+}
+
+// Locked is correct: deferred Unlock covers the whole body.
+func (s *store) Locked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Sequential is correct: positional Lock/Unlock bracket the accesses.
+func (s *store) Sequential(v int) {
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.count++
+	s.mu.Unlock()
+}
+
+// EarlyReturn escapes the critical section with the lock still held.
+func (s *store) EarlyReturn(v int) bool {
+	s.mu.Lock()
+	if v < 0 {
+		return false // want "lockguard: return with s.mu held"
+	}
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+	return true
+}
+
+// Leak takes the lock and never releases it.
+func (s *store) Leak(v int) {
+	s.mu.Lock() // want "lockguard: s.mu.Lock\\(\\) in Leak has no matching Unlock"
+	s.items = append(s.items, v)
+}
+
+// Stale reads count again after the release.
+func (s *store) Stale() int {
+	s.mu.Lock()
+	n := s.count
+	s.mu.Unlock()
+	return n + s.count // want "lockguard: store.count \\(mpp:guardedby mu\\) accessed without s.mu held"
+}
+
+// grow is documented as called with mu held: accesses inside are clean.
+//
+//mpp:locked mu
+func (s *store) grow(v int) {
+	s.items = append(s.items, v)
+	s.count++
+}
+
+// Grow is the locked entry point pairing with grow.
+func (s *store) Grow(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grow(v)
+}
+
+// NewStore initializes by keyed composite literal: exempt.
+func NewStore() *store {
+	return &store{items: nil, count: 0}
+}

@@ -1,0 +1,58 @@
+// Package pooltest seeds poolcheck violations: sync.Pool objects
+// leaked, discarded, and used after their Put.
+package pooltest
+
+import "sync"
+
+type buffer struct {
+	data []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(buffer) }}
+
+// Leak binds the pooled object and forgets it: never Put, never handed
+// off.
+func Leak() int {
+	b := bufPool.Get().(*buffer) // want "poolcheck: b from Pool.Get\\(\\) is neither Put back nor handed off in Leak"
+	return len(b.data)
+}
+
+// Discard drops the result on the floor without even binding it.
+func Discard() {
+	bufPool.Get() // want "poolcheck: result of Pool.Get\\(\\) is discarded"
+}
+
+// Stale touches the object after returning it to the pool.
+func Stale() int {
+	b := bufPool.Get().(*buffer)
+	n := len(b.data)
+	bufPool.Put(b)
+	return n + len(b.data) // want "poolcheck: use of b after it was Put back to the pool"
+}
+
+// Roundtrip is correct: the deferred Put runs at exit, so every use in
+// the body precedes it.
+func Roundtrip() int {
+	b := bufPool.Get().(*buffer)
+	defer bufPool.Put(b)
+	b.data = b.data[:0]
+	return len(b.data)
+}
+
+// Handoff transfers ownership to the caller directly.
+func Handoff() *buffer {
+	return bufPool.Get().(*buffer)
+}
+
+// HandoffLocal prepares a bound local and returns it: the caller owns
+// it from here.
+func HandoffLocal() *buffer {
+	b := bufPool.Get().(*buffer)
+	b.data = b.data[:0]
+	return b
+}
+
+// DropExplicit documents the drop with a blank assignment.
+func DropExplicit() {
+	_ = bufPool.Get()
+}

@@ -417,11 +417,15 @@ func (e *engine) addLeftover(b *batch) {
 
 // applyLeftovers drains every inbox and the leftover list and applies
 // the batches to their owning shards. Runs on the coordinator after all
-// workers exited (quiescent memory, no locks needed beyond the leftover
-// mutex). The destination shard is recomputed from each candidate's
-// words — ownerOf is a pure function, so this matches where the batch
-// was headed.
+// workers exited, so the memory is quiescent — but the leftover list
+// is still touched under leftMu (uncontended here, essentially free)
+// so its guarded-by discipline holds at every site rather than relying
+// on the join for visibility. The destination shard is recomputed from
+// each candidate's words — ownerOf is a pure function, so this matches
+// where the batch was headed.
 func (e *engine) applyLeftovers() {
+	e.leftMu.Lock()
+	defer e.leftMu.Unlock()
 	for i := range e.inbox {
 		if e.inbox[i] == nil {
 			continue

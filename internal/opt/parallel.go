@@ -132,11 +132,11 @@ type engine struct {
 	// (async early stop); the coordinator applies them after the workers
 	// exit so the anytime LowerBound sees the complete frontier.
 	leftMu   sync.Mutex
-	leftover []*batch
+	leftover []*batch // mpp:guardedby leftMu
 
 	incMu    sync.Mutex // guards incRef alongside the incumbent store
-	incRef   stateRef
-	startRef stateRef // owner/index of the seed state
+	incRef   stateRef   // mpp:guardedby incMu
+	startRef stateRef   // owner/index of the seed state
 }
 
 func newEngine(ctx context.Context, in *pebble.Instance, cfg Config, newTab func() hashtab.Index, pooled bool) *engine {
@@ -280,6 +280,8 @@ func (e *engine) run() (*Result, error) {
 
 // runInline is the single-worker driver: the same layer/wave structure
 // with the one shard's phases executed in place.
+//
+//mpp:deterministic
 func (e *engine) runInline() (*Result, error) {
 	s := e.shards[0]
 	for {
@@ -318,6 +320,8 @@ func (e *engine) runInline() (*Result, error) {
 // assembly. The command send and report receive bracket every wave, so
 // all cross-shard reads below (queues, counters, parents) happen on
 // quiescent memory.
+//
+//mpp:deterministic
 func (e *engine) runParallel() (*Result, error) {
 	w := e.nShards
 	cmds := make([]chan int64, w)

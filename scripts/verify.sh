@@ -21,8 +21,10 @@ go vet ./...
 
 echo "== mpplint =="
 # Project-specific analyzers (internal/lint): ctx propagation, panic
-# policy, errors.Is on sentinels, Status/Verdict consultation, and the
-# //mpp:hotpath no-allocation rule. Exits nonzero on any finding.
+# policy, errors.Is on sentinels, Status/Verdict consultation, the
+# //mpp:hotpath no-allocation rule, plus the whole-program concurrency
+# and determinism suite (atomicfield, lockguard, poolcheck,
+# goroutinecheck, detcheck). Exits nonzero on any finding.
 go run ./cmd/mpplint ./...
 
 echo "== go build =="
@@ -45,6 +47,10 @@ go test -race ./internal/opt/
 # solvers (and its fingerprint property tests are zoo-wide), so it runs
 # its full suite under -race too.
 go test -race ./internal/cache/
+# The state tables back every shard of the parallel engines; their
+# suite (including the open-addressing growth and shard-routing
+# properties) runs fully under -race as well.
+go test -race ./internal/hashtab/
 go test -race -short ./internal/sched/ ./internal/exp/
 
 echo "== bench smoke (1 iteration each) =="
