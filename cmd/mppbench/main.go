@@ -54,6 +54,14 @@
 // broken cache is a 100–1000× jump), not states expanded, which is
 // zero by definition on a hit.
 //
+// The sched group schedules two ~10⁵-node instances (a 316×316 grid and
+// a 500×200 wavefront, k=4) with the greedy and partitioned engines,
+// recording ns/node, allocs/op and the certified optimality gap of the
+// produced strategy against bounds.CertifiedLower. Row names are
+// identical in quick and full mode so snapshots diff cleanly; -diff
+// gates these rows on allocs/op (1.3×), the allocation audit that keeps
+// per-node maps and per-round allocations out of the engine hot paths.
+//
 // -diff compares the freshly measured solver records against a committed
 // snapshot (v1 snapshots are read compatibly: their per-op expansion
 // count is recovered from states_per_sec × ns_per_op) and exits non-zero
@@ -90,7 +98,7 @@ import (
 
 type record struct {
 	Name         string  `json:"name"`
-	Group        string  `json:"group"` // "solver" | "cache" | "engine" | "experiment"
+	Group        string  `json:"group"` // "solver" | "cache" | "engine" | "sched" | "experiment"
 	Iterations   int     `json:"iterations"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
@@ -113,6 +121,14 @@ type record struct {
 	// benchmark divided by this row's — recorded on sweep rows when the
 	// same run measured the workers=1 baseline.
 	Speedup float64 `json:"speedup,omitempty"`
+	// NsPerNode is NsPerOp divided by the instance's node count —
+	// recorded on sched-group rows, whose acceptance bar is per-node
+	// scheduling throughput, not absolute wall time.
+	NsPerNode float64 `json:"ns_per_node,omitempty"`
+	// Gap is the certified optimality gap (cost − lower)/lower of the
+	// strategy the benchmarked scheduler produces, against
+	// bounds.CertifiedLower — recorded on sched-group rows.
+	Gap float64 `json:"gap,omitempty"`
 }
 
 type snapshot struct {
@@ -180,8 +196,8 @@ func measure(name, group string, minTime time.Duration, fn func() (states int, e
 func main() {
 	out := flag.String("out", "", `output file ("-" = stdout; default BENCH_<date>.json)`)
 	quick := flag.Bool("quick", false, "shorter sampling windows (noisier, much faster)")
-	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "cache", "engine" or "experiment" (default all)`)
-	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states (cache rows: >10x ns/op)")
+	groupSel := flag.String("group", "", `run only one benchmark group: "solver", "cache", "engine", "sched" or "experiment" (default all)`)
+	diff := flag.String("diff", "", "committed snapshot to compare against; exit 1 if any shared solver benchmark expands >20% more states (cache rows: >10x ns/op; sched rows: >1.3x allocs/op)")
 	workersFlag := flag.String("workers", "1,2,4", `comma-separated worker counts for the exact-search workers sweep ("" disables the -wN rows)`)
 	modesFlag := flag.String("modes", "deterministic,async", `comma-separated engine modes for the workers sweep ("deterministic", "async")`)
 	cacheBench := flag.Bool("cache", true, "run the solve-cache hit-latency benchmark rows (the cache group)")
@@ -241,6 +257,9 @@ func main() {
 		}
 		if rec.Speedup > 0 {
 			fmt.Fprintf(os.Stderr, " %5.2fx", rec.Speedup)
+		}
+		if rec.NsPerNode > 0 {
+			fmt.Fprintf(os.Stderr, " %8.0f ns/node gap=%.1f%%", rec.NsPerNode, 100*rec.Gap)
 		}
 		fmt.Fprintln(os.Stderr)
 	}
@@ -508,6 +527,43 @@ func main() {
 		}))
 	}
 
+	// --- sched group: heuristic schedulers at 10⁵-node scale ----------
+	// Each row schedules a ~100k-node instance (identical rows in quick
+	// and full mode, only the sampling window differs) and records
+	// ns/node plus the certified optimality gap of the strategy it
+	// emits. The allocs/op number is the allocation audit: the engines
+	// are O(n)-allocation by design, and -diff gates sched rows on it.
+	if wantGroup("sched") {
+		schedRow := func(name string, g *dag.Graph, s sched.Scheduler) {
+			in := pebble.MustInstance(g, pebble.MPP(4, g.MaxInDegree()+2, 3))
+			lower, _ := bounds.CertifiedLower(in)
+			strat, err := s.Schedule(in)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			rep, err := pebble.Replay(in, strat)
+			if err != nil {
+				fatal(fmt.Errorf("%s: invalid strategy: %w", name, err))
+			}
+			rec, err := measure(name, "sched", minTime, func() (int, error) {
+				_, err := s.Schedule(in)
+				return 0, err
+			})
+			if err == nil {
+				rec.NsPerNode = math.Round(100*float64(rec.NsPerOp)/float64(g.N())) / 100
+				rec.Gap = math.Round(1e4*bounds.Gap(lower, rep.Cost)) / 1e4
+			}
+			add(rec, err)
+		}
+		levels := sched.Partitioned{Assign: sched.AssignLevelRoundRobin, AssignName: "levels"}
+		grid := gen.Grid2D(316, 316)    // 99 856 nodes
+		wave := gen.Wavefront(500, 200) // 100 000 nodes
+		schedRow("sched-greedy-grid100k-k4", grid, sched.Greedy{})
+		schedRow("sched-part-grid100k-k4", grid, levels)
+		schedRow("sched-greedy-wave100k-k4", wave, sched.Greedy{})
+		schedRow("sched-part-wave100k-k4", wave, levels)
+	}
+
 	// --- experiment group: the full suite, quick sizing, one pass -----
 	if wantGroup("experiment") {
 		for _, e := range exp.Registry() {
@@ -585,6 +641,7 @@ func diffStates(path string, fresh []record) error {
 	// ratio feeding the exit decision.
 	baseline := make(map[string]int)
 	baselineNs := make(map[string]int64)
+	baselineAllocs := make(map[string]int64)
 	for _, r := range base.Benchmarks {
 		switch r.Group {
 		case "solver":
@@ -595,6 +652,8 @@ func diffStates(path string, fresh []record) error {
 			baseline[r.Name] = st
 		case "cache":
 			baselineNs[r.Name] = r.NsPerOp
+		case "sched":
+			baselineAllocs[r.Name] = r.AllocsPerOp
 		}
 	}
 	regressed := 0
@@ -623,6 +682,29 @@ func diffStates(path string, fresh []record) error {
 			}
 			continue
 		}
+		// Sched-group rows are the allocation audit: wall time on a loaded
+		// machine wobbles, but the engines' allocation counts are
+		// deterministic for a fixed instance, so allocs/op is gated tightly
+		// (1.3×: absorbs a deliberate small trade, catches a map or
+		// per-round slice creeping back into a hot path).
+		if r.Group == "sched" {
+			want, ok := baselineAllocs[r.Name]
+			if !ok {
+				continue
+			}
+			if want <= 0 || r.AllocsPerOp <= 0 {
+				fmt.Fprintf(os.Stderr, "mppbench: n/a %s: allocs/op %d now vs %d in %s (ratio undefined, not gated)\n",
+					r.Name, r.AllocsPerOp, want, path)
+				continue
+			}
+			compared++
+			if float64(r.AllocsPerOp) > 1.3*float64(want) {
+				regressed++
+				fmt.Fprintf(os.Stderr, "mppbench: REGRESSION %s [sched, gate 30%%]: %d allocs/op vs %d in %s (+%.0f%%)\n",
+					r.Name, r.AllocsPerOp, want, path, 100*(float64(r.AllocsPerOp)/float64(want)-1))
+			}
+			continue
+		}
 		if r.Group != "solver" {
 			continue
 		}
@@ -646,7 +728,7 @@ func diffStates(path string, fresh []record) error {
 				r.Name, mode, 100*(tol-1), r.StatesExpanded, want, path, 100*(float64(r.StatesExpanded)/float64(want)-1))
 		}
 	}
-	fmt.Fprintf(os.Stderr, "mppbench: diff vs %s (%s): %d solver/cache benchmarks compared, %d regressed\n",
+	fmt.Fprintf(os.Stderr, "mppbench: diff vs %s (%s): %d solver/cache/sched benchmarks compared, %d regressed\n",
 		path, base.Schema, compared, regressed)
 	if regressed > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past their gate vs %s", regressed, path)

@@ -67,9 +67,13 @@ func main() {
 		fatal(err)
 	}
 	st := g.ComputeStats()
-	fmt.Printf("dag %s: n=%d m=%d Δin=%d depth=%d | k=%d r=%d g=%d | Lemma 1 bounds: [%d, %d]\n",
+	lower, lowerTerm := bounds.CertifiedLower(in)
+	fmt.Printf("dag %s: n=%d m=%d Δin=%d depth=%d | k=%d r=%d g=%d | Lemma 1 bounds: [%d, %d] | certified lower %d (%s)\n",
 		g.Name(), st.N, st.M, st.MaxIn, st.Depth, *k, rr, *gCost,
-		bounds.Lemma1Lower(in), bounds.Lemma1Upper(in))
+		bounds.Lemma1Lower(in), bounds.Lemma1Upper(in), lower, lowerTerm)
+	gapCol := func(cost int64) string {
+		return fmt.Sprintf("cost=%d lower=%d gap=%.1f%%", cost, lower, 100*bounds.Gap(lower, cost))
+	}
 
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -85,7 +89,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("loaded strategy invalid: %w", err))
 		}
-		fmt.Printf("%-32s %s\n", "loaded:"+*load, trace.Summary(in, rep))
+		fmt.Printf("%-32s %s | %s\n", "loaded:"+*load, gapCol(rep.Cost), trace.Summary(in, rep))
 		trace.PerProcessor(os.Stdout, rep)
 		return
 	}
@@ -125,7 +129,7 @@ func main() {
 			name += "+improve"
 		}
 		lastStrat = strat
-		fmt.Printf("%-32s %s\n", name, trace.Summary(in, rep))
+		fmt.Printf("%-32s %s | %s\n", name, gapCol(rep.Cost), trace.Summary(in, rep))
 		if len(schedulers) == 1 {
 			trace.PerProcessor(os.Stdout, rep)
 			if *timeline > 0 {

@@ -66,6 +66,29 @@ func (s *Set) Remove(i int) {
 	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
 }
 
+// TestAndSet inserts i and reports whether the set changed (i was
+// absent). It lets callers that mirror a set with a cardinality counter
+// stay exact without a separate Contains probe.
+func (s *Set) TestAndSet(i int) bool {
+	s.check(i)
+	w := i / wordBits
+	m := uint64(1) << (uint(i) % wordBits)
+	old := s.words[w]
+	s.words[w] = old | m
+	return old&m == 0
+}
+
+// TestAndClear removes i and reports whether the set changed (i was
+// present) — the removal counterpart of TestAndSet.
+func (s *Set) TestAndClear(i int) bool {
+	s.check(i)
+	w := i / wordBits
+	m := uint64(1) << (uint(i) % wordBits)
+	old := s.words[w]
+	s.words[w] = old &^ m
+	return old&m != 0
+}
+
 // Contains reports whether i is in the set.
 func (s *Set) Contains(i int) bool {
 	s.check(i)

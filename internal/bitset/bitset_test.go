@@ -310,3 +310,54 @@ func BenchmarkForEach1024(b *testing.B) {
 	}
 	_ = sum
 }
+
+func TestTestAndSetClear(t *testing.T) {
+	s := New(130)
+	if !s.TestAndSet(7) {
+		t.Error("TestAndSet on absent element reported no change")
+	}
+	if s.TestAndSet(7) {
+		t.Error("TestAndSet on present element reported a change")
+	}
+	if !s.Contains(7) {
+		t.Error("TestAndSet did not insert")
+	}
+	if !s.TestAndClear(7) {
+		t.Error("TestAndClear on present element reported no change")
+	}
+	if s.TestAndClear(7) {
+		t.Error("TestAndClear on absent element reported a change")
+	}
+	if s.Contains(7) {
+		t.Error("TestAndClear did not remove")
+	}
+}
+
+func TestQuickTestAndSetTracksCount(t *testing.T) {
+	// A counter driven purely by TestAndSet/TestAndClear return values
+	// must agree with Count at every step — the invariant the pebble
+	// Builder's O(1) FreeSlots relies on.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		count := 0
+		for i := 0; i < 200; i++ {
+			id := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				if s.TestAndSet(id) {
+					count++
+				}
+			} else if s.TestAndClear(id) {
+				count--
+			}
+			if count != s.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package bounds
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/pebble"
+	"repro/internal/sched"
+)
+
+// TestCertifiedLowerBelowMeasuredCost is the soundness safeguard for the
+// gap reports: on every workload × parameter combination a scheduler can
+// solve, the certified lower bound must not exceed the measured cost of
+// any valid strategy (which is an upper bound on OPT). A violation here
+// means a term in CertifiedLower is not actually a lower bound.
+func TestCertifiedLowerBelowMeasuredCost(t *testing.T) {
+	graphs := []*dag.Graph{
+		gen.FFT(3), gen.FFT(4), gen.FFT(5), gen.FFT(6),
+		gen.MatMul(2), gen.MatMul(3), gen.MatMul(4),
+		gen.Grid2D(8, 8), gen.Wavefront(6, 10),
+		gen.Pyramid(6), gen.Chain(20), gen.RandomDAG(60, 0.1, 3, 1),
+	}
+	for _, g := range graphs {
+		for _, k := range []int{1, 2, 4} {
+			for _, rExtra := range []int{1, 3} {
+				in, err := pebble.NewInstance(g, pebble.MPP(k, g.MaxInDegree()+1+rExtra, 3))
+				if err != nil {
+					t.Fatalf("%s: %v", g.Name(), err)
+				}
+				lower, term := CertifiedLower(in)
+				if lower <= 0 {
+					t.Fatalf("%s k=%d: certified lower %d not positive", g.Name(), k, lower)
+				}
+				for _, s := range []sched.Scheduler{
+					sched.Greedy{},
+					sched.Partitioned{Assign: sched.AssignLevelRoundRobin, AssignName: "levels"},
+				} {
+					t.Run(fmt.Sprintf("%s/k%d/re%d/%s", g.Name(), k, rExtra, s.Name()), func(t *testing.T) {
+						strat, err := s.Schedule(in)
+						if err != nil {
+							t.Skipf("scheduler failed (not a bounds problem): %v", err)
+						}
+						rep, err := pebble.Replay(in, strat)
+						if err != nil {
+							t.Fatalf("invalid strategy: %v", err)
+						}
+						if lower > rep.Cost {
+							t.Fatalf("certified lower %d (term %s) exceeds measured cost %d",
+								lower, term, rep.Cost)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestCertifiedLowerTermSelection(t *testing.T) {
+	// A plain grid never gets a Corollary 1 term.
+	g := gen.Grid2D(10, 10)
+	in, err := pebble.NewInstance(g, pebble.MPP(2, g.MaxInDegree()+2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, term := CertifiedLower(in)
+	if term != "structural" || lower != StructuralLower(in) {
+		t.Fatalf("grid: got (%d, %s), want structural bound %d", lower, term, StructuralLower(in))
+	}
+
+	// A large FFT with scarce memory must be bound by the Hong–Kung term.
+	f := gen.FFT(10)
+	in, err = pebble.NewInstance(f, pebble.MPP(2, f.MaxInDegree()+1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, term = CertifiedLower(in)
+	if term != "corollary1-fft" {
+		t.Fatalf("fft-1024: binding term %s (lower %d), want corollary1-fft", term, lower)
+	}
+	if lower <= StructuralLower(in) {
+		t.Fatalf("fft-1024: corollary1 term %d does not improve on structural %d",
+			lower, StructuralLower(in))
+	}
+
+	// Matmul with scarce memory must be bound by the Kwasniewski term.
+	m := gen.MatMul(8)
+	in, err = pebble.NewInstance(m, pebble.MPP(2, m.MaxInDegree()+1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, term = CertifiedLower(in)
+	if term != "corollary1-mmm" {
+		t.Fatalf("matmul-8: binding term %s, want corollary1-mmm", term)
+	}
+}
+
+func TestStructuralLowerFromMatchesInstanceForm(t *testing.T) {
+	for _, g := range []*dag.Graph{gen.FFT(4), gen.Grid2D(7, 9), gen.Pyramid(5)} {
+		st := g.ComputeStats()
+		for _, k := range []int{1, 3} {
+			r := g.MaxInDegree() + 2
+			in, err := pebble.NewInstance(g, pebble.MPP(k, r, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := StructuralLower(in)
+			got := StructuralLowerFrom(int64(st.N), int64(st.Depth),
+				int64(len(g.Sinks())), k, r, 4, in.ComputeCost)
+			if got != want {
+				t.Fatalf("%s k=%d: StructuralLowerFrom=%d, StructuralLower=%d", g.Name(), k, got, want)
+			}
+		}
+	}
+}

@@ -165,12 +165,24 @@ type Stats struct {
 	MaxAncestors int // largest ancestor set of any node
 }
 
-// ComputeStats gathers the Stats of g.
+// maxAncestorsCap is the largest graph for which ComputeStats computes
+// MaxAncestors: AncestorCounts holds Θ(n²/64) bitset words, which is fine
+// at solver scale but reaches gigabytes past ~10⁵ nodes. Above the cap
+// the field is reported as -1 (not computed).
+const maxAncestorsCap = 1 << 14
+
+// ComputeStats gathers the Stats of g. On graphs larger than
+// maxAncestorsCap nodes MaxAncestors is -1: the ancestor sweep is
+// quadratic in memory and the headline stats must stay O(n) so the
+// CLIs can print them for million-node instances.
 func (g *Graph) ComputeStats() Stats {
-	maxAnc := 0
-	for _, c := range g.AncestorCounts() {
-		if c > maxAnc {
-			maxAnc = c
+	maxAnc := -1
+	if g.N() <= maxAncestorsCap {
+		maxAnc = 0
+		for _, c := range g.AncestorCounts() {
+			if c > maxAnc {
+				maxAnc = c
+			}
 		}
 	}
 	return Stats{

@@ -13,6 +13,7 @@ package dag
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -125,8 +126,14 @@ func NewBuilder(name string) *Builder {
 	return &Builder{name: name, labels: map[NodeID]string{}}
 }
 
-// AddNode appends one node and returns its ID.
+// AddNode appends one node and returns its ID. The node count is capped
+// at 2³¹−1 because NodeID is an int32 (and the CSR offset arrays built by
+// Build are int32 too); exceeding the cap panics — a programmer error at
+// the call site, guarded upstream by the size validators in package gen.
 func (b *Builder) AddNode() NodeID {
+	if b.n >= math.MaxInt32 {
+		panic(fmt.Sprintf("dag: node count %d exceeds the 2^31-1 int32 NodeID limit", b.n))
+	}
 	id := NodeID(b.n)
 	b.n++
 	return id
@@ -152,7 +159,12 @@ func (b *Builder) AddLabeledNode(label string) NodeID {
 func (b *Builder) SetLabel(v NodeID, label string) { b.labels[v] = label }
 
 // AddEdge records the directed edge u → v. Validation happens at Build.
+// Like AddNode, the edge count is capped at 2³¹−1 (the CSR offsets are
+// int32); exceeding it panics — a programmer error at the call site.
 func (b *Builder) AddEdge(u, v NodeID) {
+	if len(b.edges) >= math.MaxInt32 {
+		panic(fmt.Sprintf("dag: edge count %d exceeds the 2^31-1 int32 offset limit", len(b.edges)))
+	}
 	b.edges = append(b.edges, [2]NodeID{u, v})
 }
 

@@ -11,6 +11,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/dag"
@@ -18,6 +19,7 @@ import (
 
 // Chain returns a path of n nodes: 0 → 1 → … → n−1.
 func Chain(n int) *dag.Graph {
+	checkNodes(fmt.Sprintf("Chain(%d)", n), int64(n))
 	b := dag.NewBuilder(fmt.Sprintf("chain-%d", n))
 	b.AddNewChain(n)
 	return b.MustBuild()
@@ -26,6 +28,7 @@ func Chain(n int) *dag.Graph {
 // IndependentChains returns k disjoint chains of length each — the DAG
 // showing tightness of Lemma 7 (perfect factor-k parallel speedup).
 func IndependentChains(k, length int) *dag.Graph {
+	checkNodes(fmt.Sprintf("IndependentChains(%d,%d)", k, length), satMul(int64(k), int64(length)))
 	b := dag.NewBuilder(fmt.Sprintf("chains-%dx%d", k, length))
 	for i := 0; i < k; i++ {
 		b.AddNewChain(length)
@@ -36,8 +39,17 @@ func IndependentChains(k, length int) *dag.Graph {
 // BinaryInTree returns a complete binary in-tree of the given depth:
 // 2^depth leaves (sources) reducing pairwise to a single sink root.
 // depth 0 is a single node. Every out-degree is ≤ 1, so the graph lies in
-// the in-tree class of Lemma 2.
+// the in-tree class of Lemma 2. A negative or over-2³¹ depth panics — a
+// programmer error at the call site.
 func BinaryInTree(depth int) *dag.Graph {
+	if depth < 0 {
+		panic(fmt.Sprintf("gen: BinaryInTree(%d): need depth ≥ 0", depth))
+	}
+	nodes := int64(math.MaxInt64)
+	if depth <= 61 {
+		nodes = int64(1)<<uint(depth+1) - 1
+	}
+	checkNodes(fmt.Sprintf("BinaryInTree(%d)", depth), nodes)
 	b := dag.NewBuilder(fmt.Sprintf("intree-%d", depth))
 	// Build level by level from the leaves down to the root.
 	prev := b.AddNodes(1 << depth)
@@ -63,6 +75,7 @@ func BinaryOutTree(depth int) *dag.Graph {
 // with probability p. Every node path has length ≤ 1, so the graph lies in
 // the 2-layer class of Lemma 2. Isolated sinks keep in-degree 0.
 func TwoLayerRandom(sources, sinks int, p float64, seed int64) *dag.Graph {
+	checkNodes(fmt.Sprintf("TwoLayerRandom(%d,%d)", sources, sinks), satAdd(int64(sources), int64(sinks)))
 	rng := rand.New(rand.NewSource(seed))
 	b := dag.NewBuilder(fmt.Sprintf("twolayer-%dx%d", sources, sinks))
 	src := b.AddNodes(sources)
@@ -81,6 +94,11 @@ func TwoLayerRandom(sources, sinks int, p float64, seed int64) *dag.Graph {
 // layer i+1 draws indeg predecessors uniformly from layer i (capped at the
 // layer width).
 func LayeredRandom(widths []int, indeg int, seed int64) *dag.Graph {
+	var total int64
+	for _, w := range widths {
+		total = satAdd(total, int64(w))
+	}
+	checkNodes(fmt.Sprintf("LayeredRandom(%v layers)", len(widths)), total)
 	rng := rand.New(rand.NewSource(seed))
 	b := dag.NewBuilder(fmt.Sprintf("layered-%d", len(widths)))
 	var prev []dag.NodeID
@@ -106,6 +124,7 @@ func LayeredRandom(widths []int, indeg int, seed int64) *dag.Graph {
 // edge with probability p, then prunes in-degrees above maxIn by keeping a
 // random subset of maxIn predecessors.
 func RandomDAG(n int, p float64, maxIn int, seed int64) *dag.Graph {
+	checkNodes(fmt.Sprintf("RandomDAG(%d)", n), int64(n))
 	rng := rand.New(rand.NewSource(seed))
 	preds := make([][]dag.NodeID, n)
 	for u := 0; u < n; u++ {
@@ -134,6 +153,7 @@ func RandomDAG(n int, p float64, maxIn int, seed int64) *dag.Graph {
 // node (i,j) depends on (i−1,j) and (i,j−1). Node (0,0) is the only
 // source; node (rows−1, cols−1) is the only sink.
 func Grid2D(rows, cols int) *dag.Graph {
+	checkNodes(fmt.Sprintf("Grid2D(%d,%d)", rows, cols), satMul(int64(rows), int64(cols)))
 	b := dag.NewBuilder(fmt.Sprintf("grid-%dx%d", rows, cols))
 	ids := make([][]dag.NodeID, rows)
 	for i := range ids {
@@ -157,6 +177,7 @@ func Grid2D(rows, cols int) *dag.Graph {
 // (l, i+1). The apex is the unique sink. Pyramids are the classic
 // time-memory trade-off family for pebbling ([31] in the paper).
 func Pyramid(height int) *dag.Graph {
+	checkNodes(fmt.Sprintf("Pyramid(%d)", height), satMul(int64(height)+1, int64(height)+2)/2)
 	b := dag.NewBuilder(fmt.Sprintf("pyramid-%d", height))
 	prev := b.AddNodes(height + 1)
 	for l := 1; l <= height; l++ {

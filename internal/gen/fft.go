@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dag"
 )
@@ -9,8 +10,17 @@ import (
 // FFT returns the n-point FFT butterfly DAG for n = 2^logN: logN+1 levels
 // of n nodes each; node i at level l+1 depends on nodes i and i XOR 2^l at
 // level l. Hong and Kung's lower bound states that pebbling it with fast
-// memory of size s requires Ω(n·log n / log s) I/O operations.
+// memory of size s requires Ω(n·log n / log s) I/O operations. A negative
+// or over-2³¹-node logN panics — a programmer error at the call site.
 func FFT(logN int) *dag.Graph {
+	if logN < 0 {
+		panic(fmt.Sprintf("gen: FFT(%d): need logN ≥ 0", logN))
+	}
+	fftNodes := int64(math.MaxInt64)
+	if logN <= 40 { // (logN+1)·2^logN fits comfortably in int64
+		fftNodes = int64(logN+1) << uint(logN)
+	}
+	checkNodes(fmt.Sprintf("FFT(%d)", logN), fftNodes)
 	n := 1 << logN
 	b := dag.NewBuilder(fmt.Sprintf("fft-%d", n))
 	prev := b.AddNodes(n)
@@ -54,6 +64,12 @@ type MatMulIDs struct {
 // (e.g. the tiled schedule in package proofs) can address individual
 // entries, products and partial sums.
 func MatMulWithIDs(n int) (*dag.Graph, *MatMulIDs) {
+	n64 := int64(n)
+	// 2n² sources + n³ products + n²(n−1) accumulators.
+	nodes := satMul(2, satMul(n64, n64))
+	nodes = satAdd(nodes, satMul(n64, satMul(n64, n64)))
+	nodes = satAdd(nodes, satMul(satMul(n64, n64), n64-1))
+	checkNodes(fmt.Sprintf("MatMul(%d)", n), nodes)
 	b := dag.NewBuilder(fmt.Sprintf("matmul-%d", n))
 	ids := &MatMulIDs{N: n}
 	ids.A = make([][]dag.NodeID, n)

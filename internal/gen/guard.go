@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxNodes is the largest node count any generator accepts: NodeID is an
+// int32, and dag.Graph's CSR offset arrays are int32 as well, so a DAG
+// can hold at most 2³¹−1 nodes (and edges).
+const MaxNodes = math.MaxInt32
+
+// satAdd returns a+b for non-negative operands, saturating at
+// math.MaxInt64 instead of wrapping.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// satMul returns a·b for non-negative operands, saturating at
+// math.MaxInt64 instead of wrapping.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		return math.MaxInt64
+	}
+	return p
+}
+
+// checkNodes panics when a generator's node count is negative (a size
+// parameter was negative) or exceeds MaxNodes — a programmer error at
+// the call site, same contract as the existing parameter panics
+// (spec.ParseDAG converts generator panics into errors for user-supplied
+// DAG spec strings). Generators call it before allocating anything, so
+// an oversized request like Grid2D(46341, 46341) fails fast instead of
+// attempting a multi-gigabyte build that would silently wrap int32
+// NodeIDs.
+func checkNodes(what string, count int64) {
+	if count < 0 {
+		panic(fmt.Sprintf("gen: %s: negative node count %d", what, count))
+	}
+	if count > MaxNodes {
+		panic(fmt.Sprintf("gen: %s would need %d nodes, exceeding the 2^31-1 NodeID limit", what, count))
+	}
+}

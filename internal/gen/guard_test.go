@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally. The time bound guards against a generator
+// that "fails" by attempting the oversized allocation instead of
+// panicking up front.
+func mustPanic(t *testing.T, what string, f func()) string {
+	t.Helper()
+	var msg string
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+		t.Fatalf("%s: expected panic, returned normally", what)
+	}()
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("%s: panic took %v — guard did not fire before allocation", what, el)
+	}
+	return msg
+}
+
+func TestCheckNodesBoundary(t *testing.T) {
+	// Exactly MaxNodes is legal…
+	checkNodes("boundary", MaxNodes)
+	// …one past it is a programmer error.
+	msg := mustPanic(t, "MaxNodes+1", func() { checkNodes("boundary", MaxNodes+1) })
+	if !strings.Contains(msg, "exceeding the 2^31-1 NodeID limit") {
+		t.Fatalf("wrong panic message: %q", msg)
+	}
+	msg = mustPanic(t, "negative", func() { checkNodes("boundary", -1) })
+	if !strings.Contains(msg, "negative node count") {
+		t.Fatalf("wrong panic message: %q", msg)
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if got := satAdd(math.MaxInt64, 1); got != math.MaxInt64 {
+		t.Fatalf("satAdd overflow: got %d", got)
+	}
+	if got := satAdd(3, 4); got != 7 {
+		t.Fatalf("satAdd: got %d", got)
+	}
+	if got := satMul(math.MaxInt64/2, 3); got != math.MaxInt64 {
+		t.Fatalf("satMul overflow: got %d", got)
+	}
+	if got := satMul(0, math.MaxInt64); got != 0 {
+		t.Fatalf("satMul zero: got %d", got)
+	}
+	if got := satMul(6, 7); got != 42 {
+		t.Fatalf("satMul: got %d", got)
+	}
+}
+
+// TestGeneratorsRejectOversized checks each generator panics fast —
+// before allocating — when the requested node count exceeds 2³¹−1.
+// 46341² = 2,147,488,281 is the first square past MaxInt32.
+func TestGeneratorsRejectOversized(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Grid2D", func() { Grid2D(46341, 46341) }},
+		{"Chain", func() { Chain(math.MaxInt32 + 1) }},
+		{"IndependentChains", func() { IndependentChains(46341, 46341) }},
+		{"Pyramid", func() { Pyramid(66000) }},
+		{"BinaryInTree", func() { BinaryInTree(31) }},
+		{"BinaryInTreeDeep", func() { BinaryInTree(200) }},
+		{"Wavefront", func() { Wavefront(46341, 46341) }},
+		{"LU", func() { LU(1 << 12) }},
+		{"FFT", func() { FFT(28) }},
+		{"FFTDeep", func() { FFT(62) }},
+		{"MatMul", func() { MatMul(1300) }},
+		{"ReductionTrees", func() { ReductionTrees(2, 31) }},
+		{"ReductionTreesDeep", func() { ReductionTrees(1, 200) }},
+		{"TwoLayerRandom", func() { TwoLayerRandom(math.MaxInt32, 2, 1, 1) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			msg := mustPanic(t, tc.name, tc.f)
+			if !strings.Contains(msg, "NodeID limit") {
+				t.Fatalf("wrong panic message: %q", msg)
+			}
+		})
+	}
+}
+
+// TestGeneratorsRejectNegative spot-checks that negative size parameters
+// still hit the documented parameter panics (not the overflow guard).
+func TestGeneratorsRejectNegative(t *testing.T) {
+	mustPanic(t, "Chain", func() { Chain(-1) })
+	mustPanic(t, "BinaryInTree", func() { BinaryInTree(-1) })
+	mustPanic(t, "FFT", func() { FFT(-1) })
+	mustPanic(t, "ReductionTrees", func() { ReductionTrees(1, -1) })
+}

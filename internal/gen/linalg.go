@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dag"
 )
@@ -26,6 +27,12 @@ func LU(n int) *dag.Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("gen: LU(%d): need n ≥ 1", n))
 	}
+	// n² sources + per step k: (n−1−k) multipliers and (n−1−k)² updates.
+	n64 := int64(n)
+	nodes := satMul(n64, n64)
+	nodes = satAdd(nodes, satMul(n64-1, n64)/2)                  // multipliers: Σ m
+	nodes = satAdd(nodes, satMul(satMul(n64-1, n64), 2*n64-1)/6) // updates: Σ m²
+	checkNodes(fmt.Sprintf("LU(%d)", n), nodes)
 	b := dag.NewBuilder(fmt.Sprintf("lu-%d", n))
 	// cur[i][j] is the current version of entry (i, j).
 	cur := make([][]dag.NodeID, n)
@@ -63,6 +70,7 @@ func Wavefront(width, steps int) *dag.Graph {
 	if width < 1 || steps < 1 {
 		panic(fmt.Sprintf("gen: Wavefront(%d,%d): need ≥ 1", width, steps))
 	}
+	checkNodes(fmt.Sprintf("Wavefront(%d,%d)", width, steps), satMul(int64(width), int64(steps)))
 	b := dag.NewBuilder(fmt.Sprintf("wavefront-%dx%d", width, steps))
 	prev := b.AddNodes(width)
 	for t := 1; t < steps; t++ {
@@ -90,6 +98,12 @@ func ReductionTrees(f, depth int) *dag.Graph {
 	if f < 1 || depth < 0 {
 		panic(fmt.Sprintf("gen: ReductionTrees(%d,%d): invalid", f, depth))
 	}
+	treeNodes := int64(math.MaxInt64)
+	if depth <= 61 {
+		treeNodes = int64(1)<<uint(depth+1) - 1
+	}
+	checkNodes(fmt.Sprintf("ReductionTrees(%d,%d)", f, depth),
+		satAdd(satMul(int64(f), treeNodes), int64(f)))
 	trees := make([]*dag.Graph, f)
 	for i := range trees {
 		trees[i] = BinaryInTree(depth)

@@ -12,16 +12,25 @@ import (
 // panic on rule violations — a violation in a proof-encoded strategy is a
 // programming error — but every strategy produced here is additionally
 // validated by Replay in tests and experiments.
+//
+// The Builder mirrors each Red set with a cached cardinality so the
+// memory-bound check and FreeSlots are O(1) instead of a popcount over
+// n/64 words — at 10^6 nodes the popcount would dominate every move.
 type Builder struct {
-	in  *Instance
-	cfg *Config
-	s   Strategy
+	in       *Instance
+	cfg      *Config
+	s        Strategy
+	redCount []int // redCount[p] == cfg.Red[p].Count(), maintained exactly
 }
 
 // NewBuilder returns a Builder over the given instance starting from the
 // empty configuration.
 func NewBuilder(in *Instance) *Builder {
-	return &Builder{in: in, cfg: NewConfig(in.Graph.N(), in.K)}
+	return &Builder{
+		in:       in,
+		cfg:      NewConfig(in.Graph.N(), in.K),
+		redCount: make([]int, in.K),
+	}
 }
 
 // Config returns the current configuration (live; do not modify).
@@ -41,6 +50,23 @@ func (b *Builder) fail(format string, args ...any) {
 	panic(fmt.Sprintf("pebble.Builder: "+format, args...))
 }
 
+// addRed inserts v into shade p's red set, keeping the cached count exact.
+func (b *Builder) addRed(p int, v dag.NodeID) {
+	if b.cfg.Red[p].TestAndSet(int(v)) {
+		b.redCount[p]++
+	}
+}
+
+// removeRed deletes v from shade p's red set, keeping the cached count
+// exact; reports whether v was present.
+func (b *Builder) removeRed(p int, v dag.NodeID) bool {
+	if b.cfg.Red[p].TestAndClear(int(v)) {
+		b.redCount[p]--
+		return true
+	}
+	return false
+}
+
 // Compute issues a compute move: processor p computes each node in vs
 // (one move per node when len(vs) > 1 would break injectivity, so this
 // issues len(vs) sequential moves, all on p).
@@ -51,8 +77,8 @@ func (b *Builder) Compute(p int, vs ...dag.NodeID) {
 				b.fail("compute v%d on p%d: predecessor v%d not red", v, p, u)
 			}
 		}
-		b.cfg.Red[p].Add(int(v))
-		if b.cfg.Red[p].Count() > b.in.R {
+		b.addRed(p, v)
+		if b.redCount[p] > b.in.R {
 			b.fail("compute v%d on p%d: memory bound r=%d exceeded", v, p, b.in.R)
 		}
 		b.s.Append(Compute(At(p, v)))
@@ -62,12 +88,12 @@ func (b *Builder) Compute(p int, vs ...dag.NodeID) {
 // ComputeParallel issues one compute move in which each listed action's
 // processor computes its node simultaneously.
 func (b *Builder) ComputeParallel(actions ...Action) {
-	seen := map[int]bool{}
-	for _, a := range actions {
-		if seen[a.Proc] {
-			b.fail("parallel compute selects p%d twice", a.Proc)
+	for i, a := range actions {
+		for j := 0; j < i; j++ {
+			if actions[j].Proc == a.Proc {
+				b.fail("parallel compute selects p%d twice", a.Proc)
+			}
 		}
-		seen[a.Proc] = true
 		for _, u := range b.in.Graph.Pred(a.Node) {
 			if !b.cfg.Red[a.Proc].Contains(int(u)) {
 				b.fail("parallel compute v%d on p%d: predecessor v%d not red", a.Node, a.Proc, u)
@@ -75,8 +101,8 @@ func (b *Builder) ComputeParallel(actions ...Action) {
 		}
 	}
 	for _, a := range actions {
-		b.cfg.Red[a.Proc].Add(int(a.Node))
-		if b.cfg.Red[a.Proc].Count() > b.in.R {
+		b.addRed(a.Proc, a.Node)
+		if b.redCount[a.Proc] > b.in.R {
 			b.fail("parallel compute: p%d exceeds r=%d", a.Proc, b.in.R)
 		}
 	}
@@ -100,8 +126,8 @@ func (b *Builder) Read(actions ...Action) {
 		if !b.cfg.Blue.Contains(int(a.Node)) {
 			b.fail("read v%d: no blue pebble", a.Node)
 		}
-		b.cfg.Red[a.Proc].Add(int(a.Node))
-		if b.cfg.Red[a.Proc].Count() > b.in.R {
+		b.addRed(a.Proc, a.Node)
+		if b.redCount[a.Proc] > b.in.R {
 			b.fail("read v%d: p%d exceeds r=%d", a.Node, a.Proc, b.in.R)
 		}
 	}
@@ -118,10 +144,9 @@ func (b *Builder) Delete(actions ...Action) {
 			b.cfg.Blue.Remove(int(a.Node))
 			continue
 		}
-		if !b.cfg.Red[a.Proc].Contains(int(a.Node)) {
+		if !b.removeRed(a.Proc, a.Node) {
 			b.fail("delete v%d: not red on p%d", a.Node, a.Proc)
 		}
-		b.cfg.Red[a.Proc].Remove(int(a.Node))
 	}
 	b.s.Append(Delete(actions...))
 }
@@ -131,9 +156,8 @@ func (b *Builder) Delete(actions ...Action) {
 func (b *Builder) DropRed(p int, vs ...dag.NodeID) {
 	var acts []Action
 	for _, v := range vs {
-		if b.cfg.Red[p].Contains(int(v)) {
+		if b.removeRed(p, v) {
 			acts = append(acts, At(p, v))
-			b.cfg.Red[p].Remove(int(v))
 		}
 	}
 	if len(acts) > 0 {
@@ -155,7 +179,7 @@ func (b *Builder) DropAllRed(p int, keep ...dag.NodeID) {
 		return true
 	})
 	for _, a := range acts {
-		b.cfg.Red[a.Proc].Remove(int(a.Node))
+		b.removeRed(a.Proc, a.Node)
 	}
 	if len(acts) > 0 {
 		b.s.Append(Delete(acts...))
@@ -183,4 +207,4 @@ func (b *Builder) Save(p int, v dag.NodeID) {
 }
 
 // FreeSlots returns r − |R^p|, the remaining fast-memory capacity of p.
-func (b *Builder) FreeSlots(p int) int { return b.in.R - b.cfg.Red[p].Count() }
+func (b *Builder) FreeSlots(p int) int { return b.in.R - b.redCount[p] }

@@ -1,0 +1,80 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+)
+
+// TestBuilderRedCountStaysExact drives a Builder through random valid
+// move sequences and asserts the cached per-processor cardinality (the
+// thing FreeSlots and the memory-bound check now read) never drifts
+// from a full popcount of the tracked red sets.
+func TestBuilderRedCountStaysExact(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomDAG(24, 0.2, 3, seed)
+		in := &Instance{Graph: g, Params: Params{K: 2, R: g.MaxInDegree() + 3, G: 2, ComputeCost: 1}}
+		b := NewBuilder(in)
+		topo := g.Topo()
+		// makeRoom evicts arbitrary residents of p that are not
+		// predecessors of v until at least `want` slots are free.
+		makeRoom := func(p int, v dag.NodeID, want int) bool {
+			for b.FreeSlots(p) < want {
+				victim := -1
+				b.Config().Red[p].ForEach(func(i int) bool {
+					for _, u := range g.Pred(v) {
+						if int(u) == i {
+							return true
+						}
+					}
+					victim = i
+					return false
+				})
+				if victim < 0 {
+					return false // r too tight for this draw
+				}
+				b.Save(p, dag.NodeID(victim))
+				b.Delete(At(p, dag.NodeID(victim)))
+			}
+			return true
+		}
+		for _, v := range topo {
+			p := rng.Intn(in.K)
+			for _, u := range g.Pred(v) {
+				if !makeRoom(p, v, 1) {
+					return true // vacuous draw
+				}
+				b.EnsureRed(p, u)
+			}
+			if !makeRoom(p, v, 1) {
+				return true
+			}
+			b.Compute(p, v)
+			// Always publish so predecessors computed on other shades
+			// stay reachable via Read; drop locally at random.
+			b.Save(p, v)
+			if rng.Intn(4) == 0 {
+				b.DropRed(p, v)
+			}
+			for q := 0; q < in.K; q++ {
+				if b.FreeSlots(q) != in.R-b.Config().Red[q].Count() {
+					return false
+				}
+			}
+		}
+		for p := 0; p < in.K; p++ {
+			b.DropAllRed(p)
+			if b.FreeSlots(p) != in.R {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

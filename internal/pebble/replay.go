@@ -104,6 +104,10 @@ func replay(in *Instance, s *Strategy) (*Report, *Config, error) {
 	}
 	var computed []bool
 	computed = make([]bool, n)
+	// redCount[j] mirrors cfg.Red[j].Count() incrementally: the memory-bound
+	// check below runs after every move, and a popcount there would make
+	// validation quadratic on million-move strategies.
+	redCount := make([]int, k)
 	procSeen := make([]int, k) // move index +1 when last used; enforces injective selections
 	for i, m := range s.Moves {
 		if len(m.Actions) == 0 {
@@ -157,7 +161,9 @@ func replay(in *Instance, s *Strategy) (*Report, *Config, error) {
 				}
 			}
 			for _, a := range m.Actions {
-				cfg.Red[a.Proc].Add(int(a.Node))
+				if cfg.Red[a.Proc].TestAndSet(int(a.Node)) {
+					redCount[a.Proc]++
+				}
 				rep.PerProcIO[a.Proc]++
 			}
 			rep.IOMoves++
@@ -178,7 +184,9 @@ func replay(in *Instance, s *Strategy) (*Report, *Config, error) {
 				}
 			}
 			for _, a := range m.Actions {
-				cfg.Red[a.Proc].Add(int(a.Node))
+				if cfg.Red[a.Proc].TestAndSet(int(a.Node)) {
+					redCount[a.Proc]++
+				}
 				rep.PerProcComputed[a.Proc]++
 				if computed[a.Node] {
 					rep.Recomputations++
@@ -208,6 +216,7 @@ func replay(in *Instance, s *Strategy) (*Report, *Config, error) {
 							Reason: fmt.Sprintf("node %d has no shade-%d red pebble to delete", a.Node, a.Proc)}
 					}
 					cfg.Red[a.Proc].Remove(int(a.Node))
+					redCount[a.Proc]--
 				default:
 					return nil, nil, &RuleError{MoveIndex: i, ActionIndex: ai, Move: m,
 						Reason: fmt.Sprintf("processor %d out of range", a.Proc)}
@@ -222,7 +231,7 @@ func replay(in *Instance, s *Strategy) (*Report, *Config, error) {
 
 		// Memory bound: the post-move configuration must be valid.
 		for j := 0; j < k; j++ {
-			c := cfg.Red[j].Count()
+			c := redCount[j]
 			if c > rep.MaxRedInUse[j] {
 				rep.MaxRedInUse[j] = c
 			}

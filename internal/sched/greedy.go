@@ -88,30 +88,83 @@ func (g Greedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error) {
 	return e.run()
 }
 
+// redSlot is one resident red pebble of a processor: the node and the
+// round it was last touched (the LRU eviction key). The per-processor
+// slot table holds at most r entries, so eviction scans O(r) residents
+// instead of an n/64-word bitset sweep.
+type redSlot struct {
+	node  dag.NodeID
+	touch int64
+}
+
+// scoreEntry is a (score, node) snapshot in a processor's lazy max-heap.
+// Entries are never updated in place: every score change pushes a fresh
+// snapshot and pick discards stale ones at pop time.
+type scoreEntry struct {
+	score float64
+	node  dag.NodeID
+}
+
+// greedyEngine is the CSR-native greedy scheduler core. Everything is a
+// dense index array over node IDs — no per-node maps anywhere — and all
+// steady-state work routes through the //mpp:hotpath-annotated methods
+// below, which hotalloc keeps allocation-free:
+//
+//   - redPreds[p][v] counts v's predecessors currently red on p, updated
+//     incrementally as pebbles appear/disappear (redAdd/redDrop), so a
+//     candidate's greedy score is O(1) instead of an in-neighbor scan;
+//   - heaps[p] is a lazy max-heap of score snapshots: every score change
+//     pushes, pick pops and discards entries whose node is computed,
+//     claimed this round, or whose snapshot no longer matches the live
+//     score — replacing the full ready-list rescan per processor per
+//     round;
+//   - slots[p]/slotOf[p] mirror the Builder's red sets as an O(r) slot
+//     table carrying last-touch rounds, replacing the k×n lastTouch
+//     matrix and making eviction an O(r) scan;
+//   - claimStamp/pinStamp are round- and epoch-stamped arrays standing in
+//     for the per-round claimed map and per-fetch pinned map.
+//
+// The engine is byte-identical to the frozen map-backed oracle in
+// oracle_test.go for every policy (equiv_test.go asserts it): the
+// eviction comparator is a total order with a smallest-ID tie-break, so
+// the slot-table scan order cannot change the victim, and the heap
+// discipline returns exactly the linear scan's argmax.
 type greedyEngine struct {
 	in   *pebble.Instance
 	pol  Greedy
 	b    *pebble.Builder
 	n, k int
 
-	computed  []bool
-	remSuccs  []int // uncomputed successors per node
-	remPreds  []int // uncomputed predecessors per node (readiness)
-	ready     []dag.NodeID
-	readyPos  []int // position in ready slice, -1 if absent
-	lastTouch [][]int64
-	clock     int64
-	isSink    []bool
-	left      int // uncomputed nodes
+	computed []bool
+	remSuccs []int32 // uncomputed successors per node
+	remPreds []int32 // uncomputed predecessors per node (readiness)
+	ready    []dag.NodeID
+	readyPos []int32 // position in ready slice, -1 if absent
+	isSink   []bool
+	left     int   // uncomputed nodes
+	clock    int64 // round counter; doubles as the claim epoch
+
+	redPreds [][]int32   // redPreds[p][v]: predecessors of v red on p
+	slots    [][]redSlot // resident red pebbles per shade (≤ r each)
+	slotOf   [][]int32   // slotOf[p][v]: index into slots[p], -1 absent
+	heaps    [][]scoreEntry
+
+	claimStamp []int64      // claimStamp[v] == clock ⇒ claimed this round
+	targets    []dag.NodeID // per-processor claim of the current round
+
+	pinStamp []int64 // pinStamp[v] == pinEpoch ⇒ pinned in current fetch
+	pinEpoch int64
+	pinCount int
 
 	// recompute, when non-nil, may satisfy a missing input by
 	// recomputing it (RecomputeGreedy); it returns false to fall back to
-	// the slow-memory path.
-	recompute func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool
+	// the slow-memory path. Pins are managed through pin/unpin.
+	recompute func(p int, u dag.NodeID) bool
 
 	// randomTie, when non-nil, replaces deterministic tie-breaking with
 	// uniform draws among maximum-score candidates (RandomRestartGreedy).
 	randomTie *rand.Rand
+	pool      []dag.NodeID // randomPick scratch
 }
 
 func newGreedyEngine(in *pebble.Instance, pol Greedy) *greedyEngine {
@@ -119,21 +172,37 @@ func newGreedyEngine(in *pebble.Instance, pol Greedy) *greedyEngine {
 	e := &greedyEngine{
 		in: in, pol: pol, b: pebble.NewBuilder(in),
 		n: n, k: k,
-		computed: make([]bool, n),
-		remSuccs: make([]int, n),
-		remPreds: make([]int, n),
-		readyPos: make([]int, n),
-		isSink:   make([]bool, n),
-		left:     n,
+		computed:   make([]bool, n),
+		remSuccs:   make([]int32, n),
+		remPreds:   make([]int32, n),
+		readyPos:   make([]int32, n),
+		isSink:     make([]bool, n),
+		left:       n,
+		redPreds:   make([][]int32, k),
+		slots:      make([][]redSlot, k),
+		slotOf:     make([][]int32, k),
+		heaps:      make([][]scoreEntry, k),
+		claimStamp: make([]int64, n),
+		targets:    make([]dag.NodeID, k),
+		pinStamp:   make([]int64, n),
 	}
-	e.lastTouch = make([][]int64, k)
-	for p := range e.lastTouch {
-		e.lastTouch[p] = make([]int64, n)
+	slotCap := in.R
+	if slotCap > n {
+		slotCap = n
+	}
+	for p := 0; p < k; p++ {
+		e.redPreds[p] = make([]int32, n)
+		e.slotOf[p] = make([]int32, n)
+		for i := range e.slotOf[p] {
+			e.slotOf[p][i] = -1
+		}
+		e.slots[p] = make([]redSlot, 0, slotCap)
 	}
 	for v := 0; v < n; v++ {
-		e.remSuccs[v] = in.Graph.OutDegree(dag.NodeID(v))
-		e.remPreds[v] = in.Graph.InDegree(dag.NodeID(v))
+		e.remSuccs[v] = int32(in.Graph.OutDegree(dag.NodeID(v)))
+		e.remPreds[v] = int32(in.Graph.InDegree(dag.NodeID(v)))
 		e.readyPos[v] = -1
+		e.pinStamp[v] = -1
 	}
 	for _, s := range in.Graph.Sinks() {
 		e.isSink[s] = true
@@ -146,11 +215,123 @@ func newGreedyEngine(in *pebble.Instance, pol Greedy) *greedyEngine {
 	return e
 }
 
-func (e *greedyEngine) pushReady(v dag.NodeID) {
-	e.readyPos[v] = len(e.ready)
-	e.ready = append(e.ready, v)
+// scoreOf returns the live greedy score of candidate v for processor p
+// in O(1) from the incremental red-predecessor counter.
+//
+//mpp:hotpath
+func (e *greedyEngine) scoreOf(p int, v dag.NodeID) float64 {
+	indeg := e.in.Graph.InDegree(v)
+	if indeg == 0 {
+		return 0
+	}
+	red := e.redPreds[p][v]
+	if e.pol.Select == SelectFraction {
+		return float64(red) / float64(indeg)
+	}
+	return float64(red)
 }
 
+// entryBefore reports whether heap entry a outranks b: higher score
+// first, then the policy's ID tie-break.
+//
+//mpp:hotpath
+func (e *greedyEngine) entryBefore(a, b scoreEntry) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if e.pol.Tie == TieLowID {
+		return a.node < b.node
+	}
+	return a.node > b.node
+}
+
+//mpp:hotpath
+func (e *greedyEngine) heapPush(p int, sc float64, v dag.NodeID) {
+	h := append(e.heaps[p], scoreEntry{sc, v})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.entryBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heaps[p] = h
+}
+
+//mpp:hotpath
+func (e *greedyEngine) siftDown(h []scoreEntry, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && e.entryBefore(h[r], h[l]) {
+			best = r
+		}
+		if !e.entryBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// rebuildHeap compacts p's heap back to one live snapshot per ready
+// node; pick triggers it when stale entries outnumber live ones 4:1.
+//
+//mpp:hotpath
+func (e *greedyEngine) rebuildHeap(p int) {
+	h := e.heaps[p][:0]
+	for _, v := range e.ready {
+		h = append(h, scoreEntry{e.scoreOf(p, v), v})
+	}
+	e.heaps[p] = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		e.siftDown(h, i)
+	}
+}
+
+// pick returns the best unclaimed ready node for p, or -1. It pops the
+// lazy heap, discarding snapshots that are computed, already claimed
+// this round, or stale (score no longer live); the first live snapshot
+// is the same argmax the oracle's linear rescan finds, because every
+// score transition pushes a fresh snapshot.
+//
+//mpp:hotpath
+func (e *greedyEngine) pick(p int) dag.NodeID {
+	if len(e.heaps[p]) > 4*len(e.ready)+64 {
+		e.rebuildHeap(p)
+	}
+	h := e.heaps[p]
+	for len(h) > 0 {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		e.siftDown(h, 0)
+		v := top.node
+		if e.readyPos[v] >= 0 && e.claimStamp[v] != e.clock && top.score == e.scoreOf(p, v) {
+			e.heaps[p] = h
+			return v
+		}
+	}
+	e.heaps[p] = h
+	return -1
+}
+
+//mpp:hotpath
+func (e *greedyEngine) pushReady(v dag.NodeID) {
+	e.readyPos[v] = int32(len(e.ready))
+	e.ready = append(e.ready, v)
+	for p := 0; p < e.k; p++ {
+		e.heapPush(p, e.scoreOf(p, v), v)
+	}
+}
+
+//mpp:hotpath
 func (e *greedyEngine) dropReady(v dag.NodeID) {
 	pos := e.readyPos[v]
 	last := len(e.ready) - 1
@@ -160,50 +341,68 @@ func (e *greedyEngine) dropReady(v dag.NodeID) {
 	e.readyPos[v] = -1
 }
 
-// score returns the greedy score of candidate v for processor p.
-func (e *greedyEngine) score(p int, v dag.NodeID) float64 {
-	preds := e.in.Graph.Pred(v)
-	if len(preds) == 0 {
-		return 0
-	}
-	red := 0
-	for _, u := range preds {
-		if e.b.Config().Red[p].Contains(int(u)) {
-			red++
+// redAdd records that u became red on p: bump the red-predecessor count
+// of every successor and refresh ready candidates' heap snapshots.
+//
+//mpp:hotpath
+func (e *greedyEngine) redAdd(p int, u dag.NodeID) {
+	for _, w := range e.in.Graph.Succ(u) {
+		e.redPreds[p][w]++
+		if e.readyPos[w] >= 0 {
+			e.heapPush(p, e.scoreOf(p, w), w)
 		}
 	}
-	if e.pol.Select == SelectFraction {
-		return float64(red) / float64(len(preds))
-	}
-	return float64(red)
 }
 
-// pick returns the best unclaimed ready node for p, or -1.
-func (e *greedyEngine) pick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
-	best := dag.NodeID(-1)
-	bestScore := -1.0
-	for _, v := range e.ready {
-		if claimed[v] {
-			continue
-		}
-		sc := e.score(p, v)
-		better := sc > bestScore
-		if sc == bestScore && best >= 0 {
-			if e.pol.Tie == TieLowID {
-				better = v < best
-			} else {
-				better = v > best
-			}
-		}
-		if better {
-			best, bestScore = v, sc
+// redDrop is the removal counterpart of redAdd. Downward score moves
+// push snapshots too — pick's staleness check needs the live value
+// present in the heap, whichever direction the score moved.
+//
+//mpp:hotpath
+func (e *greedyEngine) redDrop(p int, u dag.NodeID) {
+	for _, w := range e.in.Graph.Succ(u) {
+		e.redPreds[p][w]--
+		if e.readyPos[w] >= 0 {
+			e.heapPush(p, e.scoreOf(p, w), w)
 		}
 	}
-	return best
+}
+
+// residentAdd mirrors a Builder red-pebble insertion into the slot
+// table, stamped with the current round as its touch time.
+//
+//mpp:hotpath
+func (e *greedyEngine) residentAdd(p int, u dag.NodeID) {
+	e.slotOf[p][u] = int32(len(e.slots[p]))
+	e.slots[p] = append(e.slots[p], redSlot{u, e.clock})
+	e.redAdd(p, u)
+}
+
+// residentDrop mirrors a Builder red-pebble removal (swap-remove).
+//
+//mpp:hotpath
+func (e *greedyEngine) residentDrop(p int, u dag.NodeID) {
+	sl := e.slots[p]
+	i := e.slotOf[p][u]
+	last := int32(len(sl) - 1)
+	sl[i] = sl[last]
+	e.slotOf[p][sl[i].node] = i
+	e.slots[p] = sl[:last]
+	e.slotOf[p][u] = -1
+	e.redDrop(p, u)
+}
+
+// touch refreshes u's LRU stamp on p (u must be resident).
+//
+//mpp:hotpath
+func (e *greedyEngine) touch(p int, u dag.NodeID) {
+	e.slots[p][e.slotOf[p][u]].touch = e.clock
 }
 
 // dead reports whether u's red pebble on any processor can be dropped for
 // free: all successors computed, and either not a sink or already saved.
+//
+//mpp:hotpath
 func (e *greedyEngine) dead(u dag.NodeID) bool {
 	if e.remSuccs[u] > 0 {
 		return false
@@ -214,31 +413,69 @@ func (e *greedyEngine) dead(u dag.NodeID) bool {
 	return true
 }
 
+// newPinEpoch starts a fresh pinned set (O(1) — stamps from prior
+// epochs are implicitly unpinned).
+//
+//mpp:hotpath
+func (e *greedyEngine) newPinEpoch() {
+	e.pinEpoch++
+	e.pinCount = 0
+}
+
+// pin adds v to the current pinned set; reports whether v was newly
+// pinned.
+//
+//mpp:hotpath
+func (e *greedyEngine) pin(v dag.NodeID) bool {
+	if e.pinStamp[v] == e.pinEpoch {
+		return false
+	}
+	e.pinStamp[v] = e.pinEpoch
+	e.pinCount++
+	return true
+}
+
+//mpp:hotpath
+func (e *greedyEngine) unpin(v dag.NodeID) {
+	if e.pinStamp[v] == e.pinEpoch {
+		e.pinStamp[v] = -1
+		e.pinCount--
+	}
+}
+
+//mpp:hotpath
+func (e *greedyEngine) pinnedNow(v dag.NodeID) bool {
+	return e.pinStamp[v] == e.pinEpoch
+}
+
 // makeRoom evicts pebbles from p until at least want slots are free,
 // never touching pinned nodes. Live, unsaved victims are spilled (write)
-// before deletion.
-func (e *greedyEngine) makeRoom(p, want int, pinned map[dag.NodeID]bool) error {
+// before deletion. The comparator is a total order — dead first, then
+// blue-backed, then smallest key, then smallest ID — so the O(r) slot
+// scan picks the same victim the oracle's ascending bitset sweep does.
+func (e *greedyEngine) makeRoom(p, want int) error {
 	for e.b.FreeSlots(p) < want {
 		victim := dag.NodeID(-1)
 		victimDead := false
 		victimBlue := false
 		var victimKey int64
-		cfg := e.b.Config()
-		cfg.Red[p].ForEach(func(i int) bool {
-			u := dag.NodeID(i)
-			if pinned[u] {
-				return true
+		blue := e.b.Config().Blue
+		sl := e.slots[p]
+		for i := range sl {
+			u := sl[i].node
+			if e.pinStamp[u] == e.pinEpoch {
+				continue
 			}
 			d := e.dead(u)
-			bl := cfg.Blue.Contains(i)
+			bl := blue.Contains(int(u))
 			var key int64
 			if e.pol.Evict == EvictLRU {
-				key = e.lastTouch[p][u]
+				key = sl[i].touch
 			} else {
 				key = int64(e.remSuccs[u])
 			}
 			// Preference order: dead > blue-backed > live; within a class,
-			// smaller key first.
+			// smaller key first, then smaller ID.
 			better := false
 			switch {
 			case victim == -1:
@@ -247,22 +484,24 @@ func (e *greedyEngine) makeRoom(p, want int, pinned map[dag.NodeID]bool) error {
 				better = d
 			case bl != victimBlue:
 				better = bl
-			default:
+			case key != victimKey:
 				better = key < victimKey
+			default:
+				better = u < victim
 			}
 			if better {
 				victim, victimDead, victimBlue, victimKey = u, d, bl, key
 			}
-			return true
-		})
+		}
 		if victim == -1 {
 			return fmt.Errorf("greedy: processor %d cannot free %d slots (r=%d too small for pinned set %d)",
-				p, want, e.in.R, len(pinned))
+				p, want, e.in.R, e.pinCount)
 		}
 		if !victimDead && !victimBlue {
 			e.b.Write(pebble.At(p, victim))
 		}
 		e.b.Delete(pebble.At(p, victim))
+		e.residentDrop(p, victim)
 	}
 	return nil
 }
@@ -271,26 +510,26 @@ func (e *greedyEngine) makeRoom(p, want int, pinned map[dag.NodeID]bool) error {
 // through slow memory as needed. Returns an error on broken invariants.
 func (e *greedyEngine) fetch(p int, v dag.NodeID) error {
 	preds := e.in.Graph.Pred(v)
-	pinned := make(map[dag.NodeID]bool, len(preds)+1)
+	e.newPinEpoch()
 	for _, u := range preds {
-		pinned[u] = true
+		e.pin(u)
 	}
-	pinned[v] = true
+	e.pin(v)
 	cfg := e.b.Config()
 	for _, u := range preds {
-		if cfg.Red[p].Contains(int(u)) {
-			e.lastTouch[p][u] = e.clock
+		if e.slotOf[p][u] >= 0 {
+			e.touch(p, u)
 			continue
 		}
-		if e.recompute != nil && !e.in.OneShot && e.recompute(p, u, pinned) {
-			e.lastTouch[p][u] = e.clock
+		if e.recompute != nil && !e.in.OneShot && e.recompute(p, u) {
+			e.touch(p, u)
 			continue
 		}
 		if !cfg.Blue.Contains(int(u)) {
 			// Some other processor must hold it red; make it blue first.
 			owner := -1
 			for q := 0; q < e.k; q++ {
-				if cfg.Red[q].Contains(int(u)) {
+				if e.slotOf[q][u] >= 0 {
 					owner = q
 					break
 				}
@@ -300,15 +539,16 @@ func (e *greedyEngine) fetch(p int, v dag.NodeID) error {
 			}
 			e.b.Write(pebble.At(owner, u))
 		}
-		if err := e.makeRoom(p, 1, pinned); err != nil {
+		if err := e.makeRoom(p, 1); err != nil {
 			return err
 		}
 		e.b.Read(pebble.At(p, u))
-		e.lastTouch[p][u] = e.clock
+		e.residentAdd(p, u)
 	}
-	return e.makeRoom(p, 1, pinned)
+	return e.makeRoom(p, 1)
 }
 
+//mpp:hotpath
 func (e *greedyEngine) markComputed(v dag.NodeID) {
 	e.computed[v] = true
 	e.left--
@@ -330,43 +570,45 @@ func (e *greedyEngine) run() (*pebble.Strategy, error) {
 		if len(e.ready) == 0 {
 			return nil, fmt.Errorf("greedy: no ready node with %d nodes uncomputed", e.left)
 		}
-		// Claim phase.
-		claimed := map[dag.NodeID]bool{}
-		targets := make([]dag.NodeID, e.k)
+		// Claim phase: claimStamp doubles as the per-round claimed set.
+		live := 0
 		for p := 0; p < e.k; p++ {
 			if e.randomTie != nil {
-				targets[p] = e.randomPick(p, claimed)
+				e.targets[p] = e.randomPick(p)
 			} else {
-				targets[p] = e.pick(p, claimed)
+				e.targets[p] = e.pick(p)
 			}
-			if targets[p] >= 0 {
-				claimed[targets[p]] = true
+			if e.targets[p] >= 0 {
+				e.claimStamp[e.targets[p]] = e.clock
+				live++
 			}
+		}
+		if live == 0 {
+			return nil, fmt.Errorf("greedy: stalled round with %d nodes uncomputed", e.left)
 		}
 		// Fetch phase (sequential per processor; I/O moves are emitted as
 		// single-action moves — the analysis of Lemmas 3-4 does not rely
 		// on I/O batching).
 		for p := 0; p < e.k; p++ {
-			if targets[p] < 0 {
+			if e.targets[p] < 0 {
 				continue
 			}
-			if err := e.fetch(p, targets[p]); err != nil {
+			if err := e.fetch(p, e.targets[p]); err != nil {
 				return nil, err
 			}
 		}
-		// Compute phase: one parallel move for all claimed nodes.
-		var acts []pebble.Action
+		// Compute phase: one parallel move for all claimed nodes. The
+		// action slice must be freshly allocated — the Builder stores it
+		// in the emitted move.
+		acts := make([]pebble.Action, 0, live)
 		for p := 0; p < e.k; p++ {
-			if targets[p] >= 0 {
-				acts = append(acts, pebble.At(p, targets[p]))
+			if e.targets[p] >= 0 {
+				acts = append(acts, pebble.At(p, e.targets[p]))
 			}
-		}
-		if len(acts) == 0 {
-			return nil, fmt.Errorf("greedy: stalled round with %d nodes uncomputed", e.left)
 		}
 		e.b.ComputeParallel(acts...)
 		for _, a := range acts {
-			e.lastTouch[a.Proc][a.Node] = e.clock
+			e.residentAdd(a.Proc, a.Node)
 			e.markComputed(a.Node)
 		}
 	}

@@ -1,0 +1,640 @@
+package sched
+
+// This file preserves the pre-rewrite, map-backed greedy and partitioned
+// engines verbatim (modulo renames) as test-only oracles, mirroring the
+// hashtab Ref-oracle pattern: the CSR-native engines in greedy.go /
+// partition.go must produce byte-identical strategies to these for every
+// policy, instance, and worker count (see equiv_test.go). Do not "fix" or
+// optimize this code — its value is that it is the old semantics, frozen.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/pebble"
+)
+
+type oracleGreedyEngine struct {
+	in   *pebble.Instance
+	pol  Greedy
+	b    *pebble.Builder
+	n, k int
+
+	computed  []bool
+	remSuccs  []int // uncomputed successors per node
+	remPreds  []int // uncomputed predecessors per node (readiness)
+	ready     []dag.NodeID
+	readyPos  []int // position in ready slice, -1 if absent
+	lastTouch [][]int64
+	clock     int64
+	isSink    []bool
+	left      int // uncomputed nodes
+
+	recompute func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool
+	randomTie *rand.Rand
+}
+
+func newOracleGreedyEngine(in *pebble.Instance, pol Greedy) *oracleGreedyEngine {
+	n, k := in.Graph.N(), in.K
+	e := &oracleGreedyEngine{
+		in: in, pol: pol, b: pebble.NewBuilder(in),
+		n: n, k: k,
+		computed: make([]bool, n),
+		remSuccs: make([]int, n),
+		remPreds: make([]int, n),
+		readyPos: make([]int, n),
+		isSink:   make([]bool, n),
+		left:     n,
+	}
+	e.lastTouch = make([][]int64, k)
+	for p := range e.lastTouch {
+		e.lastTouch[p] = make([]int64, n)
+	}
+	for v := 0; v < n; v++ {
+		e.remSuccs[v] = in.Graph.OutDegree(dag.NodeID(v))
+		e.remPreds[v] = in.Graph.InDegree(dag.NodeID(v))
+		e.readyPos[v] = -1
+	}
+	for _, s := range in.Graph.Sinks() {
+		e.isSink[s] = true
+	}
+	for v := 0; v < n; v++ {
+		if e.remPreds[v] == 0 {
+			e.pushReady(dag.NodeID(v))
+		}
+	}
+	return e
+}
+
+func (e *oracleGreedyEngine) pushReady(v dag.NodeID) {
+	e.readyPos[v] = len(e.ready)
+	e.ready = append(e.ready, v)
+}
+
+func (e *oracleGreedyEngine) dropReady(v dag.NodeID) {
+	pos := e.readyPos[v]
+	last := len(e.ready) - 1
+	e.ready[pos] = e.ready[last]
+	e.readyPos[e.ready[pos]] = pos
+	e.ready = e.ready[:last]
+	e.readyPos[v] = -1
+}
+
+func (e *oracleGreedyEngine) score(p int, v dag.NodeID) float64 {
+	preds := e.in.Graph.Pred(v)
+	if len(preds) == 0 {
+		return 0
+	}
+	red := 0
+	for _, u := range preds {
+		if e.b.Config().Red[p].Contains(int(u)) {
+			red++
+		}
+	}
+	if e.pol.Select == SelectFraction {
+		return float64(red) / float64(len(preds))
+	}
+	return float64(red)
+}
+
+func (e *oracleGreedyEngine) pick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
+	best := dag.NodeID(-1)
+	bestScore := -1.0
+	for _, v := range e.ready {
+		if claimed[v] {
+			continue
+		}
+		sc := e.score(p, v)
+		better := sc > bestScore
+		if sc == bestScore && best >= 0 {
+			if e.pol.Tie == TieLowID {
+				better = v < best
+			} else {
+				better = v > best
+			}
+		}
+		if better {
+			best, bestScore = v, sc
+		}
+	}
+	return best
+}
+
+func (e *oracleGreedyEngine) dead(u dag.NodeID) bool {
+	if e.remSuccs[u] > 0 {
+		return false
+	}
+	if e.isSink[u] && !e.b.Config().Blue.Contains(int(u)) {
+		return false
+	}
+	return true
+}
+
+func (e *oracleGreedyEngine) makeRoom(p, want int, pinned map[dag.NodeID]bool) error {
+	for e.b.FreeSlots(p) < want {
+		victim := dag.NodeID(-1)
+		victimDead := false
+		victimBlue := false
+		var victimKey int64
+		cfg := e.b.Config()
+		cfg.Red[p].ForEach(func(i int) bool {
+			u := dag.NodeID(i)
+			if pinned[u] {
+				return true
+			}
+			d := e.dead(u)
+			bl := cfg.Blue.Contains(i)
+			var key int64
+			if e.pol.Evict == EvictLRU {
+				key = e.lastTouch[p][u]
+			} else {
+				key = int64(e.remSuccs[u])
+			}
+			better := false
+			switch {
+			case victim == -1:
+				better = true
+			case d != victimDead:
+				better = d
+			case bl != victimBlue:
+				better = bl
+			default:
+				better = key < victimKey
+			}
+			if better {
+				victim, victimDead, victimBlue, victimKey = u, d, bl, key
+			}
+			return true
+		})
+		if victim == -1 {
+			return fmt.Errorf("greedy: processor %d cannot free %d slots (r=%d too small for pinned set %d)",
+				p, want, e.in.R, len(pinned))
+		}
+		if !victimDead && !victimBlue {
+			e.b.Write(pebble.At(p, victim))
+		}
+		e.b.Delete(pebble.At(p, victim))
+	}
+	return nil
+}
+
+func (e *oracleGreedyEngine) fetch(p int, v dag.NodeID) error {
+	preds := e.in.Graph.Pred(v)
+	pinned := make(map[dag.NodeID]bool, len(preds)+1)
+	for _, u := range preds {
+		pinned[u] = true
+	}
+	pinned[v] = true
+	cfg := e.b.Config()
+	for _, u := range preds {
+		if cfg.Red[p].Contains(int(u)) {
+			e.lastTouch[p][u] = e.clock
+			continue
+		}
+		if e.recompute != nil && !e.in.OneShot && e.recompute(p, u, pinned) {
+			e.lastTouch[p][u] = e.clock
+			continue
+		}
+		if !cfg.Blue.Contains(int(u)) {
+			owner := -1
+			for q := 0; q < e.k; q++ {
+				if cfg.Red[q].Contains(int(u)) {
+					owner = q
+					break
+				}
+			}
+			if owner == -1 {
+				return fmt.Errorf("greedy: computed node %d has no pebble anywhere", u)
+			}
+			e.b.Write(pebble.At(owner, u))
+		}
+		if err := e.makeRoom(p, 1, pinned); err != nil {
+			return err
+		}
+		e.b.Read(pebble.At(p, u))
+		e.lastTouch[p][u] = e.clock
+	}
+	return e.makeRoom(p, 1, pinned)
+}
+
+func (e *oracleGreedyEngine) markComputed(v dag.NodeID) {
+	e.computed[v] = true
+	e.left--
+	e.dropReady(v)
+	for _, u := range e.in.Graph.Pred(v) {
+		e.remSuccs[u]--
+	}
+	for _, w := range e.in.Graph.Succ(v) {
+		e.remPreds[w]--
+		if e.remPreds[w] == 0 {
+			e.pushReady(w)
+		}
+	}
+}
+
+func (e *oracleGreedyEngine) run() (*pebble.Strategy, error) {
+	for e.left > 0 {
+		e.clock++
+		if len(e.ready) == 0 {
+			return nil, fmt.Errorf("greedy: no ready node with %d nodes uncomputed", e.left)
+		}
+		claimed := map[dag.NodeID]bool{}
+		targets := make([]dag.NodeID, e.k)
+		for p := 0; p < e.k; p++ {
+			if e.randomTie != nil {
+				targets[p] = e.randomPick(p, claimed)
+			} else {
+				targets[p] = e.pick(p, claimed)
+			}
+			if targets[p] >= 0 {
+				claimed[targets[p]] = true
+			}
+		}
+		for p := 0; p < e.k; p++ {
+			if targets[p] < 0 {
+				continue
+			}
+			if err := e.fetch(p, targets[p]); err != nil {
+				return nil, err
+			}
+		}
+		var acts []pebble.Action
+		for p := 0; p < e.k; p++ {
+			if targets[p] >= 0 {
+				acts = append(acts, pebble.At(p, targets[p]))
+			}
+		}
+		if len(acts) == 0 {
+			return nil, fmt.Errorf("greedy: stalled round with %d nodes uncomputed", e.left)
+		}
+		e.b.ComputeParallel(acts...)
+		for _, a := range acts {
+			e.lastTouch[a.Proc][a.Node] = e.clock
+			e.markComputed(a.Node)
+		}
+	}
+	return e.b.Strategy(), nil
+}
+
+func (e *oracleGreedyEngine) randomPick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
+	bestScore := -1.0
+	var pool []dag.NodeID
+	for _, v := range e.ready {
+		if claimed[v] {
+			continue
+		}
+		sc := e.score(p, v)
+		switch {
+		case sc > bestScore:
+			bestScore = sc
+			pool = pool[:0]
+			pool = append(pool, v)
+		case sc == bestScore:
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		return -1
+	}
+	return pool[e.randomTie.Intn(len(pool))]
+}
+
+// oracleGreedySchedule runs the frozen greedy engine for a plain Greedy
+// policy.
+func oracleGreedySchedule(in *pebble.Instance, pol Greedy) (*pebble.Strategy, error) {
+	return newOracleGreedyEngine(in, pol).run()
+}
+
+// oracleRecomputeSchedule runs the frozen engine with the pre-rewrite
+// RecomputeGreedy hook (map-based pinned sets).
+func oracleRecomputeSchedule(in *pebble.Instance, r RecomputeGreedy) (*pebble.Strategy, error) {
+	e := newOracleGreedyEngine(in, r.Greedy)
+	maxClosure := r.MaxClosure
+	if maxClosure <= 0 {
+		maxClosure = 1
+	}
+	e.recompute = func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool {
+		closure, boundary, ok := recomputeClosure(in.Graph, u, e.b.Config().Red[p], maxClosure)
+		if !ok || len(closure)*in.ComputeCost >= in.G {
+			return false
+		}
+		union := make(map[dag.NodeID]bool, len(pinned)+len(closure)+len(boundary))
+		for v := range pinned {
+			union[v] = true
+		}
+		for _, v := range closure {
+			union[v] = true
+		}
+		for _, v := range boundary {
+			union[v] = true
+		}
+		if len(union) > in.R {
+			return false
+		}
+		pinAll := make(map[dag.NodeID]bool, len(union))
+		for v := range pinned {
+			pinAll[v] = true
+		}
+		for _, v := range boundary {
+			pinAll[v] = true
+		}
+		for _, w := range closure {
+			if err := e.makeRoom(p, 1, pinAll); err != nil {
+				return false
+			}
+			e.b.Compute(p, w)
+			e.lastTouch[p][w] = e.clock
+			pinAll[w] = true
+		}
+		for _, w := range closure {
+			if w != u && !pinned[w] {
+				e.b.DropRed(p, w)
+			}
+		}
+		return true
+	}
+	return e.run()
+}
+
+// oracleRandomSchedule reproduces the pre-rewrite RandomRestartGreedy
+// restart loop on the frozen engine.
+func oracleRandomSchedule(in *pebble.Instance, r RandomRestartGreedy) (*pebble.Strategy, error) {
+	restarts := r.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	var best *pebble.Strategy
+	var bestCost int64 = -1
+	var lastErr error
+	for i := 0; i < restarts; i++ {
+		e := newOracleGreedyEngine(in, Greedy{Select: r.Select, Evict: r.Evict})
+		e.randomTie = rand.New(rand.NewSource(rng.Int63()))
+		s, err := e.run()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rep, err := pebble.Replay(in, s)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if bestCost < 0 || rep.Cost < bestCost {
+			best, bestCost = s, rep.Cost
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: all %d random restarts failed: %w", restarts, lastErr)
+	}
+	return best, nil
+}
+
+type oracleMicroOp struct {
+	kind pebble.OpKind
+	node dag.NodeID
+}
+
+type oraclePartEngine struct {
+	in     *pebble.Instance
+	b      *pebble.Builder
+	assign []int
+	k      int
+
+	order [][]dag.NodeID // per-processor nodes in global topo order
+	ptr   []int          // next index into order[p]
+	queue [][]oracleMicroOp
+
+	uses          []map[dag.NodeID][]int
+	usePtr        []map[dag.NodeID]int
+	pinned        []map[dag.NodeID]bool
+	isSink        []bool
+	computedCount int
+	computed      []bool
+	crossOut      []bool
+}
+
+func newOraclePartEngine(in *pebble.Instance, assign []int) *oraclePartEngine {
+	n, k := in.Graph.N(), in.K
+	e := &oraclePartEngine{
+		in: in, b: pebble.NewBuilder(in), assign: assign, k: k,
+		order: make([][]dag.NodeID, k), ptr: make([]int, k),
+		queue: make([][]oracleMicroOp, k),
+		uses:  make([]map[dag.NodeID][]int, k), usePtr: make([]map[dag.NodeID]int, k),
+		pinned: make([]map[dag.NodeID]bool, k),
+		isSink: make([]bool, n), computed: make([]bool, n),
+		crossOut: make([]bool, n),
+	}
+	for p := 0; p < k; p++ {
+		e.uses[p] = map[dag.NodeID][]int{}
+		e.usePtr[p] = map[dag.NodeID]int{}
+		e.pinned[p] = map[dag.NodeID]bool{}
+	}
+	for _, v := range in.Graph.Topo() {
+		p := assign[v]
+		pos := len(e.order[p])
+		e.order[p] = append(e.order[p], v)
+		for _, u := range in.Graph.Pred(v) {
+			e.uses[p][u] = append(e.uses[p][u], pos)
+		}
+	}
+	for _, s := range in.Graph.Sinks() {
+		e.isSink[s] = true
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range in.Graph.Succ(dag.NodeID(v)) {
+			if assign[w] != assign[v] {
+				e.crossOut[v] = true
+				break
+			}
+		}
+	}
+	return e
+}
+
+func (e *oraclePartEngine) nextUse(p int, u dag.NodeID, from int) int {
+	const inf = 1 << 30
+	us := e.uses[p][u]
+	i := e.usePtr[p][u]
+	for i < len(us) && us[i] < from {
+		i++
+	}
+	e.usePtr[p][u] = i
+	if i == len(us) {
+		return inf
+	}
+	return us[i]
+}
+
+func (e *oraclePartEngine) globallyDead(u dag.NodeID) bool {
+	for _, w := range e.in.Graph.Succ(u) {
+		if !e.computed[w] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *oraclePartEngine) planNext(p int) bool {
+	v := e.order[p][e.ptr[p]]
+	cfg := e.b.Config()
+	var ops []oracleMicroOp
+	for _, u := range e.in.Graph.Pred(v) {
+		if cfg.Red[p].Contains(int(u)) {
+			continue
+		}
+		if !cfg.Blue.Contains(int(u)) {
+			return false // producer has not published u yet
+		}
+		ops = append(ops, oracleMicroOp{pebble.OpRead, u})
+	}
+	ops = append(ops, oracleMicroOp{pebble.OpCompute, v})
+	if e.crossOut[v] {
+		ops = append(ops, oracleMicroOp{pebble.OpWrite, v})
+	}
+	e.queue[p] = ops
+	pin := e.pinned[p]
+	for u := range pin {
+		delete(pin, u)
+	}
+	for _, u := range e.in.Graph.Pred(v) {
+		pin[u] = true
+	}
+	pin[v] = true
+	return true
+}
+
+func (e *oraclePartEngine) evictOne(p int) (spill *pebble.Action, ok bool) {
+	cfg := e.b.Config()
+	const inf = 1 << 30
+	victim := dag.NodeID(-1)
+	victimFree := false
+	victimUse := -1
+	cfg.Red[p].ForEach(func(i int) bool {
+		u := dag.NodeID(i)
+		if e.pinned[p][u] {
+			return true
+		}
+		blue := cfg.Blue.Contains(i)
+		free := blue || (e.globallyDead(u) && (!e.isSink[u] || blue))
+		use := e.nextUse(p, u, e.ptr[p])
+		if e.isSink[u] && !blue {
+			use = inf
+		}
+		better := false
+		switch {
+		case victim == -1:
+			better = true
+		case free != victimFree:
+			better = free
+		default:
+			better = use > victimUse
+		}
+		if better {
+			victim, victimFree, victimUse = u, free, use
+		}
+		return true
+	})
+	if victim == -1 {
+		return nil, false
+	}
+	if !victimFree && !cfg.Blue.Contains(int(victim)) {
+		a := pebble.At(p, victim)
+		return &a, true
+	}
+	e.b.Delete(pebble.At(p, victim))
+	return nil, true
+}
+
+func (e *oraclePartEngine) run() (*pebble.Strategy, error) {
+	n := e.in.Graph.N()
+	for e.computedCount < n {
+		var writes, reads, computes []pebble.Action
+		computedThisRound := []dag.NodeID{}
+		progress := false
+		for p := 0; p < e.k; p++ {
+			if len(e.queue[p]) == 0 {
+				if e.ptr[p] >= len(e.order[p]) {
+					continue
+				}
+				if !e.planNext(p) {
+					continue
+				}
+			}
+			op := e.queue[p][0]
+			switch op.kind {
+			case pebble.OpRead, pebble.OpCompute:
+				if e.b.FreeSlots(p) < 1 && !e.b.Config().Red[p].Contains(int(op.node)) {
+					spill, ok := e.evictOne(p)
+					if !ok {
+						return nil, fmt.Errorf("partitioned: processor %d wedged: no evictable pebble (r=%d)", p, e.in.R)
+					}
+					if spill != nil {
+						writes = append(writes, *spill)
+						progress = true
+						continue
+					}
+				}
+				if op.kind == pebble.OpRead {
+					reads = append(reads, pebble.At(p, op.node))
+				} else {
+					computes = append(computes, pebble.At(p, op.node))
+					computedThisRound = append(computedThisRound, op.node)
+				}
+				e.queue[p] = e.queue[p][1:]
+				progress = true
+			case pebble.OpWrite:
+				writes = append(writes, pebble.At(p, op.node))
+				e.queue[p] = e.queue[p][1:]
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("partitioned: deadlock with %d of %d nodes computed", e.computedCount, n)
+		}
+		if len(writes) > 0 {
+			e.b.Write(writes...)
+			var dels []pebble.Action
+			for _, w := range writes {
+				if e.pinned[w.Proc][w.Node] {
+					continue
+				}
+				dels = append(dels, w)
+			}
+			for _, d := range dels {
+				e.b.Delete(d)
+			}
+		}
+		if len(reads) > 0 {
+			e.b.Read(reads...)
+		}
+		if len(computes) > 0 {
+			e.b.ComputeParallel(computes...)
+		}
+		for _, v := range computedThisRound {
+			e.computed[v] = true
+			e.computedCount++
+		}
+		for p := 0; p < e.k; p++ {
+			if len(e.queue[p]) == 0 && e.ptr[p] < len(e.order[p]) && e.computed[e.order[p][e.ptr[p]]] {
+				e.ptr[p]++
+			}
+		}
+	}
+	return e.b.Strategy(), nil
+}
+
+// oraclePartSchedule runs the frozen partitioned engine on an assignment
+// produced the same way Partitioned.Schedule produces it.
+func oraclePartSchedule(in *pebble.Instance, assign []int) (*pebble.Strategy, error) {
+	if len(assign) != in.N() {
+		return nil, fmt.Errorf("partitioned: assignment covers %d of %d nodes", len(assign), in.N())
+	}
+	for v, a := range assign {
+		if a < 0 || a >= in.K {
+			return nil, fmt.Errorf("partitioned: node %d assigned to processor %d outside [0,%d)", v, a, in.K)
+		}
+	}
+	return newOraclePartEngine(in, assign).run()
+}

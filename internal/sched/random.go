@@ -74,15 +74,19 @@ func (r RandomRestartGreedy) ScheduleCtx(ctx context.Context, in *pebble.Instanc
 }
 
 // randomPick replaces the deterministic tie-break: collect all candidates
-// with the maximum score and draw uniformly.
-func (e *greedyEngine) randomPick(p int, claimed map[dag.NodeID]bool) dag.NodeID {
+// with the maximum score and draw uniformly. The scan stays a linear pass
+// over the ready slice (scores are O(1) now) because seed-reproducibility
+// pins both the pool order and the Intn draw sequence.
+//
+//mpp:hotpath
+func (e *greedyEngine) randomPick(p int) dag.NodeID {
 	bestScore := -1.0
-	var pool []dag.NodeID
+	pool := e.pool[:0]
 	for _, v := range e.ready {
-		if claimed[v] {
+		if e.claimStamp[v] == e.clock {
 			continue
 		}
-		sc := e.score(p, v)
+		sc := e.scoreOf(p, v)
 		switch {
 		case sc > bestScore:
 			bestScore = sc
@@ -92,6 +96,7 @@ func (e *greedyEngine) randomPick(p int, claimed map[dag.NodeID]bool) dag.NodeID
 			pool = append(pool, v)
 		}
 	}
+	e.pool = pool
 	if len(pool) == 0 {
 		return -1
 	}

@@ -33,50 +33,77 @@ func (r RecomputeGreedy) Schedule(in *pebble.Instance) (*pebble.Strategy, error)
 	if maxClosure <= 0 {
 		maxClosure = 1
 	}
-	e.recompute = func(p int, u dag.NodeID, pinned map[dag.NodeID]bool) bool {
+	// added tracks nodes the hook pinned on top of the fetch's working
+	// set, so a rejected closure can roll its pins back and a completed
+	// one knows which intermediates were not already fetch-pinned.
+	var added []dag.NodeID
+	e.recompute = func(p int, u dag.NodeID) bool {
 		closure, boundary, ok := recomputeClosure(in.Graph, u, e.b.Config().Red[p], maxClosure)
 		if !ok || len(closure)*in.ComputeCost >= in.G {
 			return false
 		}
 		// The closure, its already-red boundary, and the pinned working
-		// set must all stay resident simultaneously (as a set union —
-		// u itself is in both the pinned set and the closure).
-		union := make(map[dag.NodeID]bool, len(pinned)+len(closure)+len(boundary))
-		for v := range pinned {
-			union[v] = true
-		}
+		// set must all stay resident simultaneously. closure and boundary
+		// are disjoint, so the union size is the live pin count plus the
+		// not-yet-pinned members of each.
+		extra := 0
 		for _, v := range closure {
-			union[v] = true
+			if !e.pinnedNow(v) {
+				extra++
+			}
 		}
 		for _, v := range boundary {
-			union[v] = true
+			if !e.pinnedNow(v) {
+				extra++
+			}
 		}
-		if len(union) > in.R {
+		if e.pinCount+extra > in.R {
 			return false
 		}
 		// Closure nodes must stay resident while later closure nodes
 		// consume them, and the boundary must not be evicted either, so
 		// both join the pinned set for the duration.
-		pinAll := make(map[dag.NodeID]bool, len(union))
-		for v := range pinned {
-			pinAll[v] = true
-		}
+		added = added[:0]
 		for _, v := range boundary {
-			pinAll[v] = true
+			if e.pin(v) {
+				added = append(added, v)
+			}
 		}
 		for _, w := range closure {
-			if err := e.makeRoom(p, 1, pinAll); err != nil {
+			if err := e.makeRoom(p, 1); err != nil {
+				// Reject, leaving any side-effect moves in place (the
+				// oracle behaves the same); restore the fetch's pins.
+				for _, v := range added {
+					e.unpin(v)
+				}
 				return false
 			}
 			e.b.Compute(p, w)
-			e.lastTouch[p][w] = e.clock
-			pinAll[w] = true
-		}
-		// Drop intermediate closure nodes (everything but u itself).
-		for _, w := range closure {
-			if w != u && !pinned[w] {
-				e.b.DropRed(p, w)
+			e.residentAdd(p, w)
+			if e.pin(w) {
+				added = append(added, w)
 			}
+		}
+		// Drop intermediate closure nodes: everything but u itself that
+		// was not already pinned by the fetch (i.e. that the hook pinned).
+		for _, w := range closure {
+			if w == u {
+				continue
+			}
+			hookPinned := false
+			for _, v := range added {
+				if v == w {
+					hookPinned = true
+					break
+				}
+			}
+			if hookPinned {
+				e.b.DropRed(p, w)
+				e.residentDrop(p, w)
+			}
+		}
+		for _, v := range added {
+			e.unpin(v)
 		}
 		return true
 	}

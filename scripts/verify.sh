@@ -40,8 +40,8 @@ echo "== go test -race =="
 # Workers ∈ {1,2,4,7} AND the async-engine equivalence properties —
 # TestAsyncMatchesDeterministicZoo, TestAsyncWitnessReplays,
 # TestAsyncPartialBudgetBracket, TestAsyncCancel — included; ~2.5 min
-# under -race). sched and exp only fan out coarse-grained
-# portfolio/experiment goroutines and stay -short.
+# under -race). exp only fans out coarse-grained experiment goroutines
+# and stays -short.
 go test -race ./internal/opt/
 # The solve cache is a shared mutex-guarded LRU hit by concurrent
 # solvers (and its fingerprint property tests are zoo-wide), so it runs
@@ -51,7 +51,19 @@ go test -race ./internal/cache/
 # suite (including the open-addressing growth and shard-routing
 # properties) runs fully under -race as well.
 go test -race ./internal/hashtab/
-go test -race -short ./internal/sched/ ./internal/exp/
+# The partitioned scheduler simulates its per-processor partitions on a
+# goroutine pool and must stay byte-identical to the sequential oracle
+# at every worker count, so internal/sched runs its FULL suite —
+# including the 3000-case engine/oracle equivalence sweep — under -race.
+go test -race ./internal/sched/
+go test -race -short ./internal/exp/
+
+echo "== sched smoke (10^5-node instances) =="
+# The scale gate for the CSR-native engines: schedule 10⁵-node (and one
+# 10⁶-node) DAGs, replay-validate, and check cost against the certified
+# lower bound. Seconds of wall time, gated behind SCHED_SMOKE so the
+# plain test suite stays fast.
+SCHED_SMOKE=1 go test -run TestSchedSmoke -count=1 ./internal/sched/
 
 echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
@@ -65,6 +77,10 @@ echo "== states-expanded regression gate =="
 latest_bench=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
 if [ -n "$latest_bench" ]; then
     go run ./cmd/mppbench -quick -group solver -out /dev/null -diff "$latest_bench"
+    # The sched rows are the allocation audit of the heuristic engines:
+    # allocs/op on a fixed instance is deterministic, and a >1.3x jump
+    # means a map or per-round allocation crept back into a hot path.
+    go run ./cmd/mppbench -quick -group sched -out /dev/null -diff "$latest_bench"
 else
     echo "no committed BENCH_*.json snapshot; skipping"
 fi
