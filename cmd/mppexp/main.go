@@ -186,6 +186,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, ", %d disk hits, %d disk errors", st.DiskHits, st.DiskErrors)
 		}
 		fmt.Fprintln(os.Stderr)
+		if st.DiskErrors > 0 {
+			// The file store is best-effort and degrades failures to
+			// misses, which makes an unwritable or corrupt -cache-dir
+			// invisible in the counters above unless someone knows to
+			// look. Say it loudly once.
+			fmt.Fprintf(os.Stderr,
+				"mppexp: warning: %d cache disk error(s) — file-backed cache at %q degraded to misses (directory unwritable or blobs corrupt?)\n",
+				st.DiskErrors, *cacheDir)
+		}
 	}
 	if partials > 0 {
 		fmt.Fprintf(os.Stderr, "mppexp: %d experiment(s) returned partial results\n", partials)

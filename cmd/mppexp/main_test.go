@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -59,4 +60,31 @@ func TestModeFlagValidation(t *testing.T) {
 	// The legal spellings still work (-list exits 0 without solving).
 	runExpect(t, bin, 0, "", "-mode", "async", "-list")
 	runExpect(t, bin, 0, "", "-async", "-mode", "async", "-list")
+}
+
+// TestCacheDirDiskErrorWarning: a -cache-dir that cannot be used (here a
+// regular file where the store expects a directory) must produce a loud
+// one-line warning at exit — the file store degrades failures to misses,
+// so without the warning a dead cache directory is invisible.
+func TestCacheDirDiskErrorWarning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := buildCLI(t)
+	notADir := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(notADir, []byte("occupied"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// E02 runs exact solves through the cache, so the store is hit.
+	runExpect(t, bin, 0, "cache disk error", "-quick", "-cache-dir", notADir, "E02")
+	// A healthy directory must stay warning-free.
+	cmd := exec.Command(bin, "-quick", "-cache-dir", filepath.Join(t.TempDir(), "cache"), "E02")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("healthy cache dir run failed: %v\nstderr: %s", err, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "warning") {
+		t.Errorf("healthy cache dir produced a warning:\n%s", stderr.String())
+	}
 }

@@ -1,0 +1,80 @@
+// Command mppserver runs the solver-as-a-service daemon: the HTTP/JSON
+// job API from internal/server over a bounded worker pool, every solve
+// memoized through the shared content-addressable cache.
+//
+// Usage:
+//
+//	mppserver [-addr host:port] [-workers n] [-queue n] [-cache-dir d] [-cache-entries n]
+//
+// The first stdout line is "mppserver: listening on http://HOST:PORT"
+// (with the resolved port when -addr asks for :0), so scripts and the
+// e2e harness can discover the endpoint. SIGINT/SIGTERM shut down
+// gracefully: the listener stops, in-flight solves are canceled (each
+// job keeps its typed partial result), and the workers are joined.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/opt"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "queued jobs beyond the ones being solved; submissions past the bound get 429")
+	cacheDir := flag.String("cache-dir", "", "file-backed solve-cache directory (persists results across restarts)")
+	cacheEntries := flag.Int("cache-entries", 0, "max in-memory solve-cache entries (0 = cache default)")
+	flag.Parse()
+
+	sc := opt.NewSolveCache(cache.Options{MaxEntries: *cacheEntries, Dir: *cacheDir})
+	srv := server.New(server.Options{
+		Cache:      sc,
+		Workers:    *workers,
+		QueueDepth: *queue,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mppserver:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Start(ctx)
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	fmt.Printf("mppserver: listening on http://%s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		// Graceful stop: close the listener and let in-flight requests
+		// finish briefly; the canceled base ctx has already told every
+		// running solve to stop with its typed partial result.
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = hs.Shutdown(shctx)
+		cancel()
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mppserver:", err)
+			os.Exit(1)
+		}
+	}
+	srv.Wait()
+	fmt.Println("mppserver: stopped")
+}

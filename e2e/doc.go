@@ -1,0 +1,7 @@
+// Package e2e holds the exec-level end-to-end harness: it builds the
+// real mppserver and mpp binaries, starts the server on an ephemeral
+// port, and drives the submit → poll → fetch lifecycle over actual
+// HTTP — asserting that completed jobs are byte-identical to local
+// opt.SolveCached runs and that deadline/budget jobs come back as typed
+// partial brackets. The package has no non-test code; see e2e_test.go.
+package e2e

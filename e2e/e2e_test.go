@@ -1,0 +1,263 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/server"
+)
+
+// buildBinaries compiles mppserver and mpp into a temp dir once per
+// test run.
+func buildBinaries(t *testing.T) (serverBin, clientBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	serverBin = filepath.Join(dir, "mppserver")
+	clientBin = filepath.Join(dir, "mpp")
+	for bin, pkg := range map[string]string{serverBin: "../cmd/mppserver", clientBin: "../cmd/mpp"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serverBin, clientBin
+}
+
+// startServer launches mppserver on an ephemeral port and returns its
+// base URL. The process is interrupted and reaped with the test.
+func startServer(t *testing.T, bin string, extraArgs ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("mppserver produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected mppserver banner: %q", line)
+	}
+	// Keep draining stdout so the server never blocks on a full pipe.
+	go func() {
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	return strings.TrimSpace(line[i+len(marker):])
+}
+
+// run executes the client binary, failing the test on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", filepath.Base(bin), strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestServerEndToEnd is the exec-level proof of the solver-as-a-service
+// contract over real binaries and real HTTP.
+func TestServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries and starts a server; skipped in -short")
+	}
+	serverBin, clientBin := buildBinaries(t)
+	base := startServer(t, serverBin, "-workers", "2", "-queue", "64")
+	remote := func(args ...string) string {
+		return run(t, clientBin, append([]string{"remote", "-server", base}, args...)...)
+	}
+	jobID := func(out string) string {
+		t.Helper()
+		var v server.View
+		if err := json.Unmarshal([]byte(out), &v); err != nil || v.ID == "" {
+			t.Fatalf("no job id in %q (%v)", out, err)
+		}
+		return v.ID
+	}
+
+	t.Run("completed job byte-identical to local solve", func(t *testing.T) {
+		out := remote("submit", "-dag", "grid:3,3", "-k", "2", "-g", "3", "-wait")
+		var fin server.View
+		if err := json.Unmarshal([]byte(out), &fin); err != nil {
+			t.Fatalf("bad final view %q: %v", out, err)
+		}
+		if fin.State != "done" || fin.ResultStatus != "complete" {
+			t.Fatalf("final view: %+v", fin)
+		}
+		got := remote("result", fin.ID)
+
+		// Reproduce the solve locally through the same request
+		// resolution and the same SolveCached funnel the server uses.
+		req := server.SubmitRequest{DAG: "grid:3,3", K: 2, G: 3,
+			ComputeCost: ptr(1), Dominance: ptr(true)}
+		in, cfg, _, err := req.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.SolveCached(context.Background(), in, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := server.EncodeResult(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal([]byte(got), want) {
+			t.Fatalf("server result differs from local solve:\nserver: %s\nlocal:  %s", got, want)
+		}
+	})
+
+	t.Run("budget job returns typed partial bracket", func(t *testing.T) {
+		out := remote("submit", "-dag", "grid:4,4", "-k", "2", "-g", "3", "-max-states", "3", "-wait")
+		var fin server.View
+		if err := json.Unmarshal([]byte(out), &fin); err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != "done" || fin.ResultStatus != "budget" {
+			t.Fatalf("budget job: %+v", fin)
+		}
+		var doc struct {
+			Status     string `json:"status"`
+			LowerBound int64  `json:"lower_bound"`
+			Incumbent  int64  `json:"incumbent"`
+		}
+		if err := json.Unmarshal([]byte(remote("result", fin.ID)), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Status != "budget" || doc.LowerBound < 0 ||
+			(doc.Incumbent != -1 && doc.Incumbent < doc.LowerBound) {
+			t.Fatalf("invalid budget bracket: %+v", doc)
+		}
+	})
+
+	t.Run("deadline job returns typed partial bracket", func(t *testing.T) {
+		out := remote("submit", "-dag", "grid:6,6", "-k", "2", "-g", "3", "-timeout-ms", "40", "-wait")
+		var fin server.View
+		if err := json.Unmarshal([]byte(out), &fin); err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != "done" || fin.ResultStatus != "canceled" {
+			t.Fatalf("deadline job: %+v", fin)
+		}
+		var doc struct {
+			Status     string `json:"status"`
+			LowerBound int64  `json:"lower_bound"`
+			Incumbent  int64  `json:"incumbent"`
+		}
+		if err := json.Unmarshal([]byte(remote("result", fin.ID)), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Status != "canceled" || doc.LowerBound < 0 ||
+			(doc.Incumbent != -1 && doc.Incumbent < doc.LowerBound) {
+			t.Fatalf("invalid deadline bracket: %+v", doc)
+		}
+	})
+
+	t.Run("submissions beyond the worker bound queue", func(t *testing.T) {
+		// 6 quick jobs against 2 workers: every submission is accepted
+		// (queued, not rejected) and all complete.
+		ids := make([]string, 0, 6)
+		for i := 0; i < 6; i++ {
+			ids = append(ids, jobID(remote("submit", "-dag", fmt.Sprintf("chain:%d", 5+i), "-k", "1", "-g", "1")))
+		}
+		for _, id := range ids {
+			var fin server.View
+			if err := json.Unmarshal([]byte(remote("wait", id)), &fin); err != nil {
+				t.Fatal(err)
+			}
+			if fin.State != "done" || fin.ResultStatus != "complete" {
+				t.Fatalf("job %s: %+v", id, fin)
+			}
+		}
+	})
+
+	t.Run("cancel mid-solve", func(t *testing.T) {
+		id := jobID(remote("submit", "-dag", "grid:6,6", "-k", "2", "-g", "3"))
+		// Wait until the worker picks it up (the metrics subtest below
+		// counts this job's solve, so it must actually start), then
+		// cancel.
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			var v server.View
+			if err := json.Unmarshal([]byte(remote("status", id)), &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.State == "running" {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		remote("cancel", id)
+		var fin server.View
+		if err := json.Unmarshal([]byte(remote("wait", id)), &fin); err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != "canceled" {
+			t.Fatalf("canceled job: %+v", fin)
+		}
+	})
+
+	t.Run("metrics expose non-zero counters", func(t *testing.T) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		text := string(body)
+		for _, want := range []string{
+			"mpp_jobs_submitted_total 10",
+			`mpp_jobs_finished_total{state="done"} 9`,
+			`mpp_jobs_finished_total{state="canceled"} 1`,
+			"mpp_jobs_rejected_total 0",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("metrics missing %q:\n%s", want, text)
+			}
+		}
+		// The histogram saw every solve that ran (the canceled one
+		// included — it ran and stopped).
+		if !strings.Contains(text, "mpp_solve_seconds_count 10") {
+			t.Errorf("solve histogram count wrong:\n%s", text)
+		}
+		if !strings.Contains(text, "mpp_cache_misses_total") {
+			t.Errorf("cache counters absent:\n%s", text)
+		}
+	})
+}
+
+func ptr[T any](v T) *T { return &v }

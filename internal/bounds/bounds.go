@@ -50,16 +50,49 @@ func Corollary1Cost(L float64, n, k, g int) float64 {
 // matches the exact solver's `max` heuristic evaluated at the empty start
 // configuration (the solver's form only tightens mid-search), so it is
 // the lower bound of record for instances too large to search.
+//
+// Deliberately absent is a symmetric load floor on sources: in this
+// game's rule (R3-M) a source has no predecessors, so its compute
+// precondition holds vacuously and a source is always acquired by a
+// compute move (already counted in the compute floor), never by a
+// forced load — the initial configuration holds no blue pebbles at all,
+// so a load of a source before some write is not even legal. Any
+// positive source-count term therefore over-bounds real strategies (the
+// greedy scheduler beats compute+load on a binary in-tree;
+// TestLoadFloorNotCertifiedInMPP pins the counterexample). The
+// blue-start convention of the classic I/O lower bounds, where inputs
+// originate in slow memory and must be loaded, is available as
+// StructuralLowerFrom with the instance's source count — see
+// BlueStartLower.
 func StructuralLower(in *pebble.Instance) int64 {
 	return StructuralLowerFrom(int64(in.N()), int64(in.Graph.CriticalPathLength()),
-		int64(len(in.Graph.Sinks())), in.K, in.R, in.G, in.ComputeCost)
+		0, int64(len(in.Graph.Sinks())), in.K, in.R, in.G, in.ComputeCost)
 }
 
-// StructuralLowerFrom is the StructuralLower formula computed from
-// pre-extracted graph statistics (node count, critical-path length, sink
-// count), for callers sizing instances they have not — or deliberately
-// will not — materialize as a pebble.Instance.
-func StructuralLowerFrom(n, depth, sinks int64, k, r, g, c int) int64 {
+// BlueStartLower is the structural bound read in the blue-start I/O
+// convention of the classic lower bounds (Hong–Kung, Kwasniewski et
+// al.): source operands originate in slow memory, so sources beyond the
+// machine's k·r red slots are each charged one load, k reads per move —
+// the load floor g·⌈(sources − k·r)⁺/k⌉ on top of StructuralLower. It
+// is the right yardstick when an MPP schedule stands in for a real
+// machine whose inputs genuinely start in slow memory, and the honest
+// capacity-planning form for sizing runs; it is NOT a certified lower
+// bound on this game's OPT (sources are computable here — see
+// StructuralLower), so CertifiedLower never uses it.
+func BlueStartLower(in *pebble.Instance) int64 {
+	return StructuralLowerFrom(int64(in.N()), int64(in.Graph.CriticalPathLength()),
+		int64(len(in.Graph.Sources())), int64(len(in.Graph.Sinks())), in.K, in.R, in.G, in.ComputeCost)
+}
+
+// StructuralLowerFrom is the structural-bound formula computed from
+// pre-extracted graph statistics (node count, critical-path length,
+// source count, sink count), for callers sizing instances they have not
+// — or deliberately will not — materialize as a pebble.Instance. A
+// positive sources count adds the blue-start load floor
+// g·⌈(sources − k·r)⁺/k⌉ (see BlueStartLower for when that convention
+// applies); sources = 0 gives the game-certified compute+store form
+// (StructuralLower, the exact solver's root heuristic).
+func StructuralLowerFrom(n, depth, sources, sinks int64, k, r, g, c int) int64 {
 	if n <= 0 {
 		return 0
 	}
@@ -71,6 +104,9 @@ func StructuralLowerFrom(n, depth, sinks int64, k, r, g, c int) int64 {
 	lb := computes * int64(c)
 	if w := sinks - k64*int64(r); w > 0 {
 		lb += (w + k64 - 1) / k64 * int64(g)
+	}
+	if l := sources - k64*int64(r); l > 0 {
+		lb += (l + k64 - 1) / k64 * int64(g)
 	}
 	return lb
 }

@@ -50,6 +50,24 @@ func TestStructuralLower(t *testing.T) {
 	if got := StructuralLower(in3); got != 15+2*7 {
 		t.Errorf("StructuralLower(twolayer) = %d, want %d", got, 15+2*7)
 	}
+	// Many sources never raise the certified bound — sources are
+	// computable in this game — but the blue-start convention charges
+	// them as loads: a depth-5 binary in-tree has 32 source leaves and
+	// one sink. k=1, r=3, g=2: computes = 63 (n = 63, depth 6), no store
+	// term (1 sink); blue-start adds 32 − 3 = 29 loads → 63 + 2·29 = 121.
+	it := gen.BinaryInTree(5)
+	in4 := pebble.MustInstance(it, pebble.MPP(1, 3, 2))
+	if got := StructuralLower(in4); got != 63 {
+		t.Errorf("StructuralLower(intree5) = %d, want 63", got)
+	}
+	if got := BlueStartLower(in4); got != 63+2*29 {
+		t.Errorf("BlueStartLower(intree5) = %d, want %d", got, 63+2*29)
+	}
+	// Ample capacity switches the load term off: k=2, r=17 → k·r = 34 ≥ 32.
+	in5 := pebble.MustInstance(it, pebble.MPP(2, 17, 2))
+	if got, want := BlueStartLower(in5), StructuralLower(in5); got != want || got != 32 {
+		t.Errorf("BlueStartLower(intree5 ample) = %d, want structural %d = 32", got, want)
+	}
 	// Never exceeds the trivial upper bound, and ≥ Lemma 1 lower.
 	for _, in := range []*pebble.Instance{in, in2, in3} {
 		if sl := StructuralLower(in); sl < Lemma1Lower(in) || sl > Lemma1Upper(in) {

@@ -21,6 +21,10 @@ func TestCertifiedLowerBelowMeasuredCost(t *testing.T) {
 		gen.MatMul(2), gen.MatMul(3), gen.MatMul(4),
 		gen.Grid2D(8, 8), gen.Wavefront(6, 10),
 		gen.Pyramid(6), gen.Chain(20), gen.RandomDAG(60, 0.1, 3, 1),
+		// Many-source shapes exercise the load floor: an in-tree is all
+		// sources at the leaves, a wide two-layer graph has both source
+		// and sink counts far beyond k·r.
+		gen.BinaryInTree(5), gen.TwoLayerRandom(24, 24, 0.2, 7),
 	}
 	for _, g := range graphs {
 		for _, k := range []int{1, 2, 4} {
@@ -54,6 +58,39 @@ func TestCertifiedLowerBelowMeasuredCost(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestLoadFloorNotCertifiedInMPP pins the finding that keeps the
+// blue-start load floor out of CertifiedLower: in this game rule (R3-M)
+// admits computing a source (its compute precondition is vacuous, and
+// the initial configuration holds no blue pebbles to load from), so the
+// greedy scheduler acquires the in-tree's 32 leaves by compute moves and
+// produces a valid strategy strictly cheaper than compute+store+load —
+// a "certified" bound including the load floor would not be a lower
+// bound. If this test ever fails, the game's source rule changed and
+// the load floor can move into StructuralLower.
+func TestLoadFloorNotCertifiedInMPP(t *testing.T) {
+	g := gen.BinaryInTree(5)
+	in, err := pebble.NewInstance(g, pebble.MPP(1, g.MaxInDegree()+2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := sched.Greedy{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pebble.Replay(in, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := BlueStartLower(in); bs <= rep.Cost {
+		t.Fatalf("blue-start bound %d no longer exceeds greedy's measured %d; "+
+			"the load floor may have become certifiable — revisit StructuralLower",
+			bs, rep.Cost)
+	}
+	if lower, term := CertifiedLower(in); lower > rep.Cost {
+		t.Fatalf("certified lower %d (term %s) exceeds measured cost %d", lower, term, rep.Cost)
 	}
 }
 
@@ -107,9 +144,20 @@ func TestStructuralLowerFromMatchesInstanceForm(t *testing.T) {
 			}
 			want := StructuralLower(in)
 			got := StructuralLowerFrom(int64(st.N), int64(st.Depth),
-				int64(len(g.Sinks())), k, r, 4, in.ComputeCost)
+				0, int64(len(g.Sinks())), k, r, 4, in.ComputeCost)
 			if got != want {
 				t.Fatalf("%s k=%d: StructuralLowerFrom=%d, StructuralLower=%d", g.Name(), k, got, want)
+			}
+			wantBS := BlueStartLower(in)
+			gotBS := StructuralLowerFrom(int64(st.N), int64(st.Depth),
+				int64(st.Sources), int64(len(g.Sinks())), k, r, 4, in.ComputeCost)
+			if gotBS != wantBS {
+				t.Fatalf("%s k=%d: blue-start StructuralLowerFrom=%d, BlueStartLower=%d",
+					g.Name(), k, gotBS, wantBS)
+			}
+			if wantBS < want {
+				t.Fatalf("%s k=%d: BlueStartLower %d below StructuralLower %d",
+					g.Name(), k, wantBS, want)
 			}
 		}
 	}

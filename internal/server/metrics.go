@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// solveBuckets are the fixed upper bounds (seconds) of the solve-latency
+// histogram. Exact solves span microseconds (cache hits, toy DAGs) to
+// minutes (deadline-bounded searches), hence the wide log-spaced range.
+var solveBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Metrics accumulates the server's job counters and the solve-latency
+// histogram. Safe for concurrent use; rendering is deterministic (fixed
+// metric order, no map iteration).
+type Metrics struct {
+	mu        sync.Mutex
+	submitted int64           // mpp:guardedby mu
+	rejected  int64           // mpp:guardedby mu
+	finished  map[State]int64 // mpp:guardedby mu
+	buckets   []int64         // mpp:guardedby mu
+	sum       float64         // mpp:guardedby mu
+	count     int64           // mpp:guardedby mu
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		finished: make(map[State]int64),
+		buckets:  make([]int64, len(solveBuckets)),
+	}
+}
+
+// JobSubmitted counts a job accepted into the queue.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+}
+
+// JobRejected counts a submission refused because the queue was full.
+func (m *Metrics) JobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// JobFinished counts a job reaching the terminal state and, when the
+// job ran a solve, records its latency in the histogram.
+func (m *Metrics) JobFinished(state State, solve time.Duration, ran bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished[state]++
+	if !ran {
+		return
+	}
+	sec := solve.Seconds()
+	for i, ub := range solveBuckets {
+		if sec <= ub {
+			m.buckets[i]++
+		}
+	}
+	m.sum += sec
+	m.count++
+}
+
+// Gauges are the point-in-time values rendered alongside the counters:
+// the scheduler's queue/worker occupancy and the solve cache's counter
+// snapshot.
+type Gauges struct {
+	QueueDepth int
+	Running    int
+	Cache      cache.Stats
+}
+
+// WriteTo renders the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer, g Gauges) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP mpp_jobs_submitted_total Jobs accepted into the queue.\n")
+	p("# TYPE mpp_jobs_submitted_total counter\n")
+	p("mpp_jobs_submitted_total %d\n", m.submitted)
+	p("# HELP mpp_jobs_rejected_total Submissions refused because the queue was full.\n")
+	p("# TYPE mpp_jobs_rejected_total counter\n")
+	p("mpp_jobs_rejected_total %d\n", m.rejected)
+	p("# HELP mpp_jobs_finished_total Jobs reaching a terminal state.\n")
+	p("# TYPE mpp_jobs_finished_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
+		p("mpp_jobs_finished_total{state=%q} %d\n", string(st), m.finished[st])
+	}
+	p("# HELP mpp_queue_depth Jobs waiting in the queue.\n")
+	p("# TYPE mpp_queue_depth gauge\n")
+	p("mpp_queue_depth %d\n", g.QueueDepth)
+	p("# HELP mpp_jobs_running Jobs currently being solved.\n")
+	p("# TYPE mpp_jobs_running gauge\n")
+	p("mpp_jobs_running %d\n", g.Running)
+	p("# HELP mpp_solve_seconds Wall-clock latency of one solve (queue wait excluded).\n")
+	p("# TYPE mpp_solve_seconds histogram\n")
+	for i, ub := range solveBuckets {
+		p("mpp_solve_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), m.buckets[i])
+	}
+	p("mpp_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	p("mpp_solve_seconds_sum %s\n", strconv.FormatFloat(m.sum, 'g', -1, 64))
+	p("mpp_solve_seconds_count %d\n", m.count)
+	for _, c := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"mpp_cache_hits_total", "Complete-result solve cache hits.", g.Cache.Hits},
+		{"mpp_cache_misses_total", "Complete-result solve cache misses.", g.Cache.Misses},
+		{"mpp_cache_partial_hits_total", "Partial-result (budget) cache hits.", g.Cache.PartialHits},
+		{"mpp_cache_partial_misses_total", "Partial-result (budget) cache misses.", g.Cache.PartialMisses},
+		{"mpp_cache_evictions_total", "Cache entries evicted.", g.Cache.Evictions},
+		{"mpp_cache_disk_errors_total", "File-backed cache errors degraded to misses.", g.Cache.DiskErrors},
+	} {
+		p("# HELP %s %s\n", c.name, c.help)
+		p("# TYPE %s counter\n", c.name)
+		p("%s %d\n", c.name, c.v)
+	}
+	p("# HELP mpp_cache_entries Live solve-cache entries.\n")
+	p("# TYPE mpp_cache_entries gauge\n")
+	p("mpp_cache_entries %d\n", g.Cache.Entries)
+	p("# HELP mpp_cache_bytes Live solve-cache bytes.\n")
+	p("# TYPE mpp_cache_bytes gauge\n")
+	p("mpp_cache_bytes %d\n", g.Cache.Bytes)
+	return err
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotFound is returned by store lookups for unknown job IDs. Match
+// with errors.Is.
+var ErrNotFound = errors.New("server: job not found")
+
+// JobStore persists jobs. The interface works on snapshots: Get and
+// List return copies, and all mutation goes through Update's closure so
+// a store can make the read-modify-write atomic however its backend
+// requires. The in-memory store below is the only implementation today;
+// the error returns exist so a file- or SQL-backed store can slot in
+// without an interface change.
+type JobStore interface {
+	// Put creates the job. The ID must be unused.
+	Put(j *Job) error
+	// Get returns a snapshot of the job.
+	Get(id string) (Job, error)
+	// Update applies fn to the stored job atomically and returns the
+	// post-update snapshot.
+	Update(id string, fn func(*Job)) (Job, error)
+	// List returns snapshots of all jobs in submission order.
+	List() ([]Job, error)
+	// Delete removes the job record.
+	Delete(id string) error
+}
+
+// MemStore is the in-memory JobStore: a mutex-guarded map plus the
+// submission order. Safe for concurrent use.
+type MemStore struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job // mpp:guardedby mu
+	order []string        // mpp:guardedby mu
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{jobs: make(map[string]*Job)}
+}
+
+// Put creates the job.
+func (s *MemStore) Put(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.ID]; ok {
+		return errors.New("server: duplicate job id " + j.ID)
+	}
+	cp := *j
+	s.jobs[j.ID] = &cp
+	s.order = append(s.order, j.ID)
+	return nil
+}
+
+// Get returns a snapshot of the job. The contained Result pointer is
+// shared but write-once: workers set it exactly once, under the store
+// lock, and it is read-only from then on.
+func (s *MemStore) Get(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return *j, nil
+}
+
+// Update applies fn under the store lock and returns the new snapshot.
+func (s *MemStore) Update(id string, fn func(*Job)) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	fn(j)
+	return *j, nil
+}
+
+// List returns snapshots of all jobs in submission order.
+func (s *MemStore) List() ([]Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out, nil
+}
+
+// Delete removes the job record (it stays in no listing afterwards).
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return ErrNotFound
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

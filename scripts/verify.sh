@@ -57,6 +57,11 @@ go test -race ./internal/hashtab/
 # including the 3000-case engine/oracle equivalence sweep — under -race.
 go test -race ./internal/sched/
 go test -race -short ./internal/exp/
+# The job server is the concurrency hot spot by construction: a worker
+# pool draining a queue, per-job cancel functions, a shared metrics
+# mutex and the solve cache hit from every worker — its full suite
+# (cancel-mid-solve and flood tests included) runs under -race.
+go test -race ./internal/server/
 
 echo "== sched smoke (10^5-node instances) =="
 # The scale gate for the CSR-native engines: schedule 10⁵-node (and one
@@ -64,6 +69,15 @@ echo "== sched smoke (10^5-node instances) =="
 # lower bound. Seconds of wall time, gated behind SCHED_SMOKE so the
 # plain test suite stays fast.
 SCHED_SMOKE=1 go test -run TestSchedSmoke -count=1 ./internal/sched/
+
+echo "== server e2e smoke =="
+# Exec-level proof of the solver-as-a-service contract: build the real
+# mppserver and mpp binaries, start the server on an ephemeral port,
+# and drive submit → poll → fetch over actual HTTP (byte-identical
+# completed results, typed deadline/budget partials, queueing beyond
+# the worker bound, live /metrics). Seconds of wall time.
+go build ./cmd/mppserver ./cmd/mpp
+go test -run TestServerEndToEnd -count=1 ./e2e/
 
 echo "== bench smoke (1 iteration each) =="
 go test -run 'xxx' -bench . -benchtime 1x . > /dev/null
